@@ -1,0 +1,106 @@
+"""Extension bench: failure-detector QoS drives consensus QoS.
+
+The paper's reference [6] (Coccoli, Urbán, Bondavalli & Schiper, DSN
+2002) analyses how the accuracy and delay of the failure detector shape
+the latency of a Chandra–Toueg consensus built on it.  This bench
+measures the same relation in the reproduction: a three-process
+consensus over the calibrated WAN whose round-0 coordinator crashes
+mid-instance, under three FD tunings.  The decision latency decomposes
+as ``(time to suspect the coordinator) + (one more round)``, so faster
+detectors buy faster consensus — until their mistakes start aborting
+healthy rounds.
+"""
+
+import pytest
+
+from repro.apps.harness import build_consensus_group
+from repro.fd.baselines import constant_timeout_strategy
+from repro.fd.combinations import make_strategy
+from repro.net.wan import italy_japan_profile
+from repro.sim.engine import Simulator
+
+GROUP = ["p0", "p1", "p2"]
+PROPOSE_AT = 1.0
+CRASH_AT = 1.05  # mid-instance: after estimates go out, before decision
+
+
+def run_instance(strategy_factory, seed):
+    sim = Simulator()
+    world = build_consensus_group(
+        sim,
+        GROUP,
+        italy_japan_profile(),
+        strategy_factory,
+        seed=seed,
+        eta=1.0,
+        initial_timeout=5.0,
+        crash_schedules={"p0": [(CRASH_AT, 1e9)]},
+        retransmit_interval=1.0,
+    )
+    world.system.start()
+    values = {address: f"v-{address}" for address in GROUP}
+    sim.schedule(PROPOSE_AT, lambda: world.propose_all(values))
+    sim.run(until=120.0)
+    survivors = [world.consensus[p] for p in ("p1", "p2")]
+    assert all(layer.decided for layer in survivors), "consensus did not terminate"
+    assert len(world.decided_values()) == 1, "agreement violated"
+    return max(layer.decision.decided_at for layer in survivors) - PROPOSE_AT
+
+
+class TestConsensusLatency:
+    def test_bench_fd_quality_drives_consensus_latency(self, benchmark):
+        tunings = {
+            "Last+JAC_med (adaptive)": lambda: make_strategy("Last", "JAC_med"),
+            "Arima+CI_high (accurate)": lambda: make_strategy("Arima", "CI_high"),
+            "Const(2s) (conservative)": lambda: constant_timeout_strategy(2.0),
+        }
+
+        def sweep():
+            latencies = {}
+            for name, factory in tunings.items():
+                samples = [run_instance(factory, seed) for seed in (1, 2, 3)]
+                latencies[name] = sum(samples) / len(samples)
+            return latencies
+
+        latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print("\nConsensus latency with a crashed round-0 coordinator")
+        for name, latency in latencies.items():
+            print(f"  {name:<26} {latency * 1e3:8.0f} ms")
+
+        adaptive = latencies["Last+JAC_med (adaptive)"]
+        conservative = latencies["Const(2s) (conservative)"]
+        # The conservative detector adds its fixed 2 s time-out to every
+        # post-crash decision; adaptive tunings detect within ~1 heartbeat.
+        assert adaptive < conservative
+        # All latencies are dominated by detection + one round trip.
+        for latency in latencies.values():
+            assert 0.5 < latency < 10.0
+
+    def test_bench_failure_free_latency_is_fd_independent(self, benchmark):
+        """Without failures the FD never fires: consensus latency must be
+        three one-way delays regardless of tuning (the flip side of [6])."""
+
+        def run_clean(strategy_factory, seed):
+            sim = Simulator()
+            world = build_consensus_group(
+                sim, GROUP, italy_japan_profile(), strategy_factory,
+                seed=seed, eta=1.0, initial_timeout=5.0,
+            )
+            world.system.start()
+            world.propose_all({address: 1 for address in GROUP})
+            sim.run(until=30.0)
+            assert len(world.decided_values()) == 1
+            return max(
+                layer.decision.decided_at for layer in world.consensus.values()
+            )
+
+        def sweep():
+            fast = run_clean(lambda: make_strategy("Last", "JAC_low"), 4)
+            slow = run_clean(lambda: constant_timeout_strategy(3.0), 4)
+            return fast, slow
+
+        fast, slow = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print(f"\nFailure-free consensus latency: adaptive {fast * 1e3:.0f} ms, "
+              f"conservative {slow * 1e3:.0f} ms")
+        assert abs(fast - slow) < 0.05
+        assert fast < 1.5  # ~3 x 200 ms one-way + processing

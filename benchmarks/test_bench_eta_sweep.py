@@ -1,0 +1,50 @@
+"""Extension bench: the heartbeat-rate cost/QoS frontier.
+
+The paper fixes ``eta = 1 s`` (Table 5); this bench sweeps it, producing
+the frontier an operator actually tunes: message cost (``1/eta``) against
+detection time (``~ eta/2 + delta``) and mistake rate.  Chen et al.'s
+analytic identities predict the shape; the sweep measures it on the
+calibrated WAN with the paper's recommended combination.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.sweep import format_sweep, sweep_eta
+from repro.neko.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(num_cycles=6_000, mttc=120.0, ttr=20.0, seed=55)
+ETAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+class TestEtaSweep:
+    def test_bench_eta_frontier(self, benchmark):
+        points = benchmark.pedantic(
+            lambda: sweep_eta(CONFIG, ETAS), rounds=1, iterations=1
+        )
+        print("\nHeartbeat-rate frontier (Last+JAC_med, fixed 6000 s runs)")
+        print(format_sweep(points, "eta (s)"))
+
+        by_eta = {p.value: p for p in points}
+
+        # Detection time is dominated by eta/2: the paper's eta = 1 s
+        # point must sit between the 0.5 s and 2 s points.
+        assert (
+            by_eta[0.5].detection_time
+            < by_eta[1.0].detection_time
+            < by_eta[2.0].detection_time
+        )
+
+        # The eta/2 + delta structure: subtracting the halved period
+        # leaves roughly the same delta everywhere.
+        deltas = [p.detection_time - p.value / 2.0 for p in points]
+        assert max(deltas) - min(deltas) < 0.15
+
+        # Message cost falls linearly while T_D^U grows ~ eta + delta:
+        # quantifying the trade the paper's Table 5 froze.
+        assert by_eta[0.25].messages_per_second == pytest.approx(4.0)
+        assert by_eta[4.0].detection_time_max > by_eta[0.25].detection_time_max
+
+        # Every point remains complete (all crashes detected => T_D finite).
+        assert all(not math.isnan(p.detection_time) for p in points)

@@ -1,0 +1,74 @@
+"""Extension bench: the group-membership election cost of FD mistakes.
+
+Quantifies the paper's motivating example — "a false positive detection
+of the current coordinator ... is more expensive ... than a slower
+detection of a true failure" — by running a coordinator under a
+membership service with two FD tunings and counting real versus spurious
+elections.
+"""
+
+import pytest
+
+from repro.apps.membership import MembershipService
+from repro.experiments.runner import build_qos_system, MONITORED
+from repro.neko.config import ExperimentConfig
+from repro.nekostat.metrics import extract_qos
+
+CONFIG = ExperimentConfig(num_cycles=15_000, mttc=600.0, ttr=30.0, seed=777)
+
+
+def run_membership(detector_id):
+    parts = build_qos_system(CONFIG, [detector_id])
+    service = MembershipService(
+        parts["event_log"],  # type: ignore[arg-type]
+        members=[MONITORED, "standby"],
+        detector_of={MONITORED: detector_id, "standby": "never-suspected"},
+    )
+    parts["system"].run(until=CONFIG.duration)  # type: ignore[attr-defined]
+    qos = extract_qos(
+        parts["event_log"], end_time=CONFIG.duration,  # type: ignore[arg-type]
+        detectors=[detector_id],
+    )[detector_id]
+    return service, qos
+
+
+class TestMembershipElections:
+    def test_bench_election_cost_by_tuning(self, benchmark):
+        def sweep():
+            return {
+                detector_id: run_membership(detector_id)
+                for detector_id in ("Last+JAC_low", "Arima+CI_high")
+            }
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print("\nMembership elections over "
+              f"{CONFIG.duration / 3600:.1f} h of virtual time")
+        header = (f"{'tuning':<16}{'crashes':>9}{'spurious':>10}"
+                  f"{'elections':>11}{'T_D mean':>10}")
+        print(header)
+        print("-" * len(header))
+        summary = {}
+        for detector_id, (service, qos) in results.items():
+            crashes = len(qos.td_samples)
+            spurious = len(qos.mistakes)
+            print(f"{detector_id:<16}{crashes:>9}{spurious:>10}"
+                  f"{service.stats.elections:>11}"
+                  f"{qos.t_d.mean * 1e3:>8.1f}ms")
+            summary[detector_id] = (crashes, spurious, service.stats.elections, qos)
+
+        fast_crashes, fast_spurious, fast_elections, fast_qos = summary["Last+JAC_low"]
+        slow_crashes, slow_spurious, slow_elections, slow_qos = summary["Arima+CI_high"]
+
+        # Both tunings see the same crash schedule (same seed).
+        assert fast_crashes == slow_crashes
+
+        # The paper's point: the delay-first tuning triggers far more
+        # spurious elections than the accuracy-first one...
+        assert fast_spurious > 3 * slow_spurious
+        # ...for a detection-time gain of only a few tens of milliseconds.
+        assert fast_qos.t_d.mean < slow_qos.t_d.mean
+        assert slow_qos.t_d.mean - fast_qos.t_d.mean < 0.1
+
+        # Every suspicion/trust flip of the coordinator is an election
+        # (real detection + repair + each mistake's start and end).
+        assert fast_elections >= fast_spurious + fast_crashes

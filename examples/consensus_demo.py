@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Consensus on top of failure detectors: FD QoS becomes consensus QoS.
+
+The paper's reference [6] studies how failure-detector accuracy and delay
+shape the QoS of a consensus algorithm.  This demo runs a three-process
+Chandra-Toueg style consensus over the calibrated WAN, crashes the
+round-0 coordinator mid-instance, and compares the decision latency under
+three failure-detector tunings.
+
+Run with::
+
+    python examples/consensus_demo.py
+"""
+
+from repro.apps.harness import build_consensus_group
+from repro.fd.baselines import constant_timeout_strategy
+from repro.fd.combinations import make_strategy
+from repro.net.wan import italy_japan_profile
+from repro.sim.engine import Simulator
+
+GROUP = ["rome", "tokyo", "zurich"]
+
+
+def run_instance(name, strategy_factory, crash_coordinator=True, seed=1):
+    sim = Simulator()
+    schedules = {"rome": [(1.05, 1e9)]} if crash_coordinator else None
+    world = build_consensus_group(
+        sim,
+        GROUP,
+        italy_japan_profile(),
+        strategy_factory,
+        seed=seed,
+        eta=1.0,
+        initial_timeout=5.0,
+        crash_schedules=schedules,
+    )
+    world.system.start()
+    values = {address: f"value-from-{address}" for address in GROUP}
+    sim.schedule(1.0, lambda: world.propose_all(values))
+    sim.run(until=60.0)
+
+    deciders = [
+        (address, layer.decision)
+        for address, layer in world.consensus.items()
+        if layer.decision is not None
+    ]
+    agreed = world.decided_values()
+    assert len(agreed) == 1, "agreement violated!"
+    latency = max(result.decided_at for _, result in deciders) - 1.0
+    rounds = max(result.round for _, result in deciders)
+    print(f"  {name:<28} decided {agreed[0]!r} "
+          f"in round {rounds} after {latency * 1e3:6.0f} ms "
+          f"({len(deciders)}/{len(GROUP)} processes)")
+    return latency
+
+
+def main() -> None:
+    print("Failure-free instance (all detectors quiet):")
+    run_instance("Last+JAC_med", lambda: make_strategy("Last", "JAC_med"),
+                 crash_coordinator=False)
+
+    print("\nCoordinator 'rome' crashes 50 ms into the instance:")
+    for name, factory in [
+        ("Last+JAC_med (adaptive)", lambda: make_strategy("Last", "JAC_med")),
+        ("Arima+CI_high (accurate)", lambda: make_strategy("Arima", "CI_high")),
+        ("Const(2s) (conservative)", lambda: constant_timeout_strategy(2.0)),
+    ]:
+        run_instance(name, factory)
+
+    print(
+        "\nThe crashed-coordinator latency decomposes as detection time\n"
+        "plus one more round: the failure detector's T_D is paid by every\n"
+        "consensus instance that loses its coordinator — the relation the\n"
+        "paper's reference [6] quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

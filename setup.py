@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has no `wheel` package and no network access, so the
+PEP 517 editable path (which needs bdist_wheel) is unavailable; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Upper-layer applications driven by failure detectors.
+
+The paper motivates failure-detector QoS through the applications that
+consume it: consensus (its reference [6] studies exactly the relation
+between FD QoS and consensus QoS) and group membership (the introduction's
+false-coordinator-suspicion example).  This package implements both on top
+of the Neko framework so the relation can be *measured*:
+
+* :mod:`repro.apps.consensus` — a Chandra–Toueg style rotating-coordinator
+  consensus using an unreliable failure detector of class ◇S;
+* :mod:`repro.apps.membership` — a coordinator-election membership service
+  whose election count exposes the cost of FD mistakes;
+* :mod:`repro.apps.harness` — wiring helpers: an N-process group with a
+  full heartbeat mesh, one failure detector per (watcher, watched) pair,
+  and a consensus layer per process.
+"""
+
+from repro.apps.consensus import ConsensusLayer, ConsensusResult
+from repro.apps.harness import ConsensusGroup, build_consensus_group
+from repro.apps.membership import ElectionStats, MembershipService
+
+__all__ = [
+    "ConsensusGroup",
+    "ConsensusLayer",
+    "ConsensusResult",
+    "ElectionStats",
+    "MembershipService",
+    "build_consensus_group",
+]

@@ -1,0 +1,131 @@
+"""Group-membership view maintenance driven by failure detectors.
+
+The paper's introduction motivates accuracy-first FD tuning with group
+membership: *"a false positive detection of the current coordinator whose
+consequence is to trigger the election of a new coordinator is more
+expensive ... than a slower detection of a true failure."*
+
+:class:`MembershipService` turns that argument into a measurable object:
+it consumes the ``START_SUSPECT``/``END_SUSPECT`` events of a set of
+failure detectors (one per member) and maintains a membership *view* with
+a rank-based coordinator (the lowest-ranked trusted member).  Every
+coordinator change is an *election*; elections caused by a false
+suspicion are *spurious*.  The election counters quantify the QoS cost
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+
+
+@dataclass
+class ElectionStats:
+    """Counters of view changes maintained by a :class:`MembershipService`."""
+
+    elections: int = 0
+    view_changes: int = 0
+    coordinator_history: List[Tuple[float, Optional[str]]] = field(default_factory=list)
+
+    @property
+    def current_coordinator(self) -> Optional[str]:
+        """The coordinator of the latest view (None if all suspected)."""
+        if not self.coordinator_history:
+            return None
+        return self.coordinator_history[-1][1]
+
+
+class MembershipService:
+    """Rank-based membership view over per-member failure detectors.
+
+    Parameters
+    ----------
+    event_log:
+        The log into which the member detectors emit their suspect
+        events; the service subscribes for live updates.
+    members:
+        Member addresses in rank order — the coordinator is always the
+        first trusted member of this list.
+    detector_of:
+        Maps each member address to the ``detector_id`` of the failure
+        detector monitoring it.  Events from other detectors are ignored.
+    on_election:
+        Optional callback ``on_election(time, old, new)`` fired on every
+        coordinator change.
+    """
+
+    def __init__(
+        self,
+        event_log: EventLog,
+        members: Sequence[str],
+        detector_of: Dict[str, str],
+        *,
+        on_election: Optional[Callable[[float, Optional[str], Optional[str]], None]] = None,
+    ) -> None:
+        if not members:
+            raise ValueError("membership needs at least one member")
+        missing = [m for m in members if m not in detector_of]
+        if missing:
+            raise ValueError(f"no detector id for members: {missing}")
+        self._members = list(members)
+        self._member_of_detector = {
+            detector_id: member for member, detector_id in detector_of.items()
+        }
+        self._suspected: Dict[str, bool] = {member: False for member in members}
+        self._on_election = on_election
+        self.stats = ElectionStats()
+        self.stats.coordinator_history.append((0.0, self._members[0]))
+        event_log.subscribe(self._handle)
+
+    # ------------------------------------------------------------------
+    # View queries
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[str]:
+        """All members, in rank order."""
+        return list(self._members)
+
+    def view(self) -> List[str]:
+        """The currently trusted members, in rank order."""
+        return [m for m in self._members if not self._suspected[m]]
+
+    def coordinator(self) -> Optional[str]:
+        """The lowest-ranked trusted member (None if view is empty)."""
+        current = self.view()
+        return current[0] if current else None
+
+    def is_suspected(self, member: str) -> bool:
+        """Whether ``member`` is currently suspected."""
+        return self._suspected[member]
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def _handle(self, event: StatEvent) -> None:
+        if event.kind not in (EventKind.START_SUSPECT, EventKind.END_SUSPECT):
+            return
+        member = self._member_of_detector.get(event.detector or "")
+        if member is None:
+            return
+        previous_coordinator = self.coordinator()
+        self._suspected[member] = event.kind is EventKind.START_SUSPECT
+        self.stats.view_changes += 1
+        new_coordinator = self.coordinator()
+        if new_coordinator != previous_coordinator:
+            self.stats.elections += 1
+            self.stats.coordinator_history.append((event.time, new_coordinator))
+            if self._on_election is not None:
+                self._on_election(event.time, previous_coordinator, new_coordinator)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MembershipService(view={self.view()}, "
+            f"elections={self.stats.elections})"
+        )
+
+
+__all__ = ["ElectionStats", "MembershipService"]

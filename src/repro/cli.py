@@ -1,0 +1,272 @@
+"""Command-line interface to the reproduction's experiments.
+
+Usage (also via ``python -m repro``):
+
+.. code-block:: text
+
+    repro characterize [--profile italy-japan] [--samples 100000]
+    repro accuracy     [--count 100000] [--seed 5] [--profile ...]
+    repro trace        --output delays.txt [--count 100000]
+    repro select-order --input delays.txt [--max-p 3 --max-d 2 --max-q 3]
+    repro qos          [--cycles 20000] [--runs 5] [--detectors all|id,id,...]
+
+Every subcommand prints its table or figure in the layout of the paper
+(Tables 2-4, Figures 4-8) so terminal output can be compared directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.accuracy import collect_delay_trace, predictor_accuracy
+from repro.experiments.characterize import characterize_profile
+from repro.experiments.qos import FIGURE_METRICS, figure_data
+from repro.experiments.report import (
+    format_figure_grid,
+    format_predictor_accuracy_table,
+    format_wan_table,
+)
+from repro.experiments.runner import aggregate_runs, run_repetitions
+from repro.neko.config import ExperimentConfig
+from repro.net.traces import DelayTrace
+from repro.net.wan import PROFILES, get_profile
+from repro.timeseries.selection import select_arima_order
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        default="italy-japan",
+        choices=sorted(PROFILES),
+        help="network profile (default: italy-japan)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Experimental Evaluation of the QoS of "
+            "Failure Detectors on Wide Area Network' (DSN 2005)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="measure a network profile (paper Table 4)"
+    )
+    _add_profile_argument(characterize)
+    characterize.add_argument("--samples", type=int, default=100_000)
+    characterize.add_argument("--seed", type=int, default=2)
+
+    accuracy = subparsers.add_parser(
+        "accuracy", help="rank predictors by msqerr (paper Table 3)"
+    )
+    _add_profile_argument(accuracy)
+    accuracy.add_argument("--count", type=int, default=100_000)
+    accuracy.add_argument("--seed", type=int, default=5)
+
+    trace = subparsers.add_parser(
+        "trace", help="collect a one-way delay trace and save it"
+    )
+    _add_profile_argument(trace)
+    trace.add_argument("--output", required=True, help="output text file")
+    trace.add_argument("--count", type=int, default=100_000)
+    trace.add_argument("--seed", type=int, default=5)
+    trace.add_argument("--eta", type=float, default=1.0)
+
+    select = subparsers.add_parser(
+        "select-order", help="grid-search an ARIMA order on a trace (Table 2)"
+    )
+    select.add_argument("--input", required=True, help="trace file to load")
+    select.add_argument("--max-p", type=int, default=3)
+    select.add_argument("--max-d", type=int, default=2)
+    select.add_argument("--max-q", type=int, default=3)
+    select.add_argument("--limit", type=int, default=5000,
+                        help="use at most this many samples")
+
+    qos = subparsers.add_parser(
+        "qos", help="run the QoS campaign and print Figures 4-8"
+    )
+    _add_profile_argument(qos)
+    qos.add_argument("--cycles", type=int, default=20_000,
+                     help="heartbeat cycles per run (paper: 100000)")
+    qos.add_argument("--runs", type=int, default=3, help="repetitions (paper: 13)")
+    qos.add_argument("--mttc", type=float, default=120.0)
+    qos.add_argument("--ttr", type=float, default=20.0)
+    qos.add_argument("--eta", type=float, default=1.0)
+    qos.add_argument("--seed", type=int, default=2005)
+    qos.add_argument(
+        "--detectors", default="all",
+        help="'all' or comma-separated ids, e.g. Last+JAC_med,Arima+CI_low",
+    )
+    qos.add_argument("--chart", action="store_true",
+                     help="also draw the figures as ASCII charts")
+    qos.add_argument("--output", default=None,
+                     help="save the pooled campaign as JSON")
+
+    report = subparsers.add_parser(
+        "report", help="re-print figures from a saved campaign JSON"
+    )
+    report.add_argument("--input", required=True, help="campaign JSON file")
+    report.add_argument("--chart", action="store_true",
+                        help="also draw the figures as ASCII charts")
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="fit a WAN profile to a measured delay trace"
+    )
+    calibrate.add_argument("--input", required=True, help="trace file to load")
+    calibrate.add_argument("--check-samples", type=int, default=20_000,
+                           help="samples for the fitted-profile check")
+    return parser
+
+
+def _command_characterize(args: argparse.Namespace) -> int:
+    result = characterize_profile(
+        get_profile(args.profile), samples=args.samples, seed=args.seed
+    )
+    print(format_wan_table(result))
+    return 0
+
+
+def _command_accuracy(args: argparse.Namespace) -> int:
+    trace = collect_delay_trace(
+        get_profile(args.profile), count=args.count, seed=args.seed
+    )
+    print(f"observed {len(trace)} delays ({args.count - len(trace)} lost)")
+    print(format_predictor_accuracy_table(predictor_accuracy(trace)))
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    trace = collect_delay_trace(
+        get_profile(args.profile), count=args.count, seed=args.seed, eta=args.eta
+    )
+    trace.save(
+        args.output,
+        header=(
+            f"one-way delays (s); profile={args.profile} count={args.count} "
+            f"seed={args.seed} eta={args.eta}"
+        ),
+    )
+    summary = trace.summary().as_milliseconds()
+    print(f"wrote {len(trace)} delays to {args.output}")
+    print(f"mean {summary.mean:.1f} ms, std {summary.std:.2f} ms, "
+          f"min {summary.minimum:.1f} ms, max {summary.maximum:.1f} ms")
+    return 0
+
+
+def _command_select_order(args: argparse.Namespace) -> int:
+    trace = DelayTrace.load(args.input)
+    series = trace.delays[: args.limit]
+    result = select_arima_order(
+        series,
+        p_range=range(0, args.max_p + 1),
+        d_range=range(0, args.max_d + 1),
+        q_range=range(0, args.max_q + 1),
+    )
+    print(f"searched p<=({args.max_p}) d<=({args.max_d}) q<=({args.max_q}) "
+          f"on {series.size} samples")
+    for order, score in result.ranked()[:8]:
+        marker = "  <- selected" if order == result.best_order else ""
+        print(f"  ARIMA{order}: msqerr = {score * 1e6:9.3f} ms^2{marker}")
+    return 0
+
+
+def _print_figures(pooled, *, chart: bool) -> None:
+    from repro.experiments.chart import render_figure
+
+    for metric, title in FIGURE_METRICS.items():
+        data = figure_data(pooled, metric)
+        if metric == "pa":
+            print(format_figure_grid(data, title, unit="", scale=1.0, decimals=6))
+        else:
+            print(format_figure_grid(data, title, unit="ms", scale=1e3))
+        if chart:
+            print()
+            print(render_figure(data, title, log_scale=(metric == "tmr")))
+        print()
+
+
+def _command_qos(args: argparse.Namespace) -> int:
+    if args.detectors.strip().lower() == "all":
+        detectors: Optional[List[str]] = None
+    else:
+        detectors = [d.strip() for d in args.detectors.split(",") if d.strip()]
+        if not detectors:
+            print("error: --detectors must name at least one combination",
+                  file=sys.stderr)
+            return 2
+    config = ExperimentConfig(
+        num_cycles=args.cycles,
+        mttc=args.mttc,
+        ttr=args.ttr,
+        eta=args.eta,
+        profile_name=args.profile,
+        seed=args.seed,
+    )
+    print(f"running {args.runs} x [{config.describe()}]")
+    results = run_repetitions(config, args.runs, detectors)
+    pooled = aggregate_runs(results)
+    print(f"total crashes: {sum(r.crashes for r in results)}\n")
+    _print_figures(pooled, chart=args.chart)
+    if args.output:
+        from repro.experiments.store import save_campaign
+
+        save_campaign(args.output, pooled, config, runs=args.runs)
+        print(f"saved campaign to {args.output}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.store import load_campaign
+
+    pooled = load_campaign(args.input)
+    print(f"loaded {len(pooled)} detectors from {args.input}\n")
+    _print_figures(pooled, chart=args.chart)
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    from repro.net.calibrate import calibrate as fit
+
+    trace = DelayTrace.load(args.input)
+    result = fit(trace)
+    print(f"calibrated from {len(trace)} samples:")
+    print(f"  floor            : {result.floor * 1e3:8.2f} ms")
+    print(f"  base queueing    : {result.base_queue * 1e3:8.2f} ms")
+    print(f"  white jitter std : {result.white_std * 1e3:8.2f} ms")
+    print(f"  epoch amplitude  : {result.telegraph_high * 1e3:8.2f} ms "
+          f"(dwell {result.telegraph_dwell_low:.0f}/"
+          f"{result.telegraph_dwell_high:.0f} samples)")
+    print(f"  slow drift std   : {result.slow_std * 1e3:8.2f} ms")
+    print(f"  spikes           : p={result.spike_probability:.2e}, "
+          f"{result.spike_min * 1e3:.0f}-{result.spike_max * 1e3:.0f} ms")
+    profile = result.build_profile()
+    check = characterize_profile(profile, samples=args.check_samples)
+    print("\nfitted profile check:")
+    print(format_wan_table(check))
+    return 0
+
+
+_COMMANDS = {
+    "characterize": _command_characterize,
+    "accuracy": _command_accuracy,
+    "trace": _command_trace,
+    "select-order": _command_select_order,
+    "qos": _command_qos,
+    "report": _command_report,
+    "calibrate": _command_calibrate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

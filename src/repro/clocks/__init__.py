@@ -1,0 +1,21 @@
+"""Clock substrate: local clocks with offset/drift and NTP-style sync.
+
+The paper assumes the monitor's and the monitored process's clocks are
+synchronised (it uses NTP against two stratum servers).  This package lets
+the reproduction both honour that assumption (:class:`PerfectClock`) and
+probe its cost: a :class:`DriftingClock` models a hardware clock with a
+constant offset and a frequency drift, and :mod:`repro.clocks.ntp` provides
+an NTP-like offset estimator and a disciplined clock built from it.
+"""
+
+from repro.clocks.clock import Clock, DriftingClock, PerfectClock
+from repro.clocks.ntp import DisciplinedClock, NtpSample, NtpSynchronizer
+
+__all__ = [
+    "Clock",
+    "DisciplinedClock",
+    "DriftingClock",
+    "NtpSample",
+    "NtpSynchronizer",
+    "PerfectClock",
+]

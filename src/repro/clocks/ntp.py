@@ -1,0 +1,193 @@
+"""NTP-style clock synchronisation.
+
+The paper keeps the monitor's and the monitored process's clocks aligned by
+running NTP against two stratum servers (one per country).  Here we model
+the essential mechanism: the client exchanges a request/response pair with a
+reference server and applies the standard NTP offset estimator
+
+    offset = ((t1 - t0) + (t2 - t3)) / 2
+
+where ``t0``/``t3`` are the client's send/receive local timestamps and
+``t1``/``t2`` the server's receive/send local timestamps.  The estimator is
+exact when the path is symmetric; path asymmetry leaks into the estimated
+offset — which is precisely the residual synchronisation error the paper's
+``T_D`` measurements carry.
+
+:class:`NtpSynchronizer` polls periodically, keeps the best-of-window sample
+(the classic minimum-delay filter), and steps a :class:`DriftingClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.clocks.clock import DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTimer
+
+
+@dataclass(frozen=True)
+class NtpSample:
+    """One request/response measurement.
+
+    Attributes follow RFC 5905 naming: ``t0`` origin, ``t1`` receive,
+    ``t2`` transmit, ``t3`` destination timestamp.  ``offset`` and
+    ``round_trip`` are the derived quantities.
+    """
+
+    t0: float
+    t1: float
+    t2: float
+    t3: float
+
+    @property
+    def offset(self) -> float:
+        """Estimated server-minus-client clock offset, in seconds."""
+        return ((self.t1 - self.t0) + (self.t2 - self.t3)) / 2.0
+
+    @property
+    def round_trip(self) -> float:
+        """Measured round-trip delay excluding server processing time."""
+        return (self.t3 - self.t0) - (self.t2 - self.t1)
+
+
+class NtpSynchronizer:
+    """Periodically disciplines a client clock against a reference clock.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    client:
+        The clock to discipline.  Must be a :class:`DriftingClock` (a
+        :class:`PerfectClock` has nothing to correct).
+    server_now:
+        Callable returning the reference (server) local time; with a
+        perfect server this is just global time.
+    delay_out, delay_back:
+        Callables producing the one-way network delays of the request and
+        the response.  Asymmetry between them biases the offset estimate by
+        half the difference — the fundamental NTP limitation.
+    poll_interval:
+        Seconds between synchronisation rounds.
+    samples_per_round:
+        Number of request/response exchanges per round; the sample with the
+        smallest round-trip wins (minimum-delay clock filter).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: DriftingClock,
+        server_now: Callable[[float], float],
+        delay_out: Callable[[], float],
+        delay_back: Callable[[], float],
+        *,
+        poll_interval: float = 64.0,
+        samples_per_round: int = 4,
+    ) -> None:
+        if samples_per_round < 1:
+            raise ValueError(f"samples_per_round must be >= 1, got {samples_per_round}")
+        self._sim = sim
+        self._client = client
+        self._server_now = server_now
+        self._delay_out = delay_out
+        self._delay_back = delay_back
+        self._samples_per_round = samples_per_round
+        self._history: List[NtpSample] = []
+        self._corrections: List[float] = []
+        self._timer = PeriodicTimer(sim, poll_interval, self._round, name="ntp-poll")
+
+    @property
+    def history(self) -> List[NtpSample]:
+        """All samples collected, oldest first."""
+        return list(self._history)
+
+    @property
+    def corrections(self) -> List[float]:
+        """Offset corrections applied, one per completed round."""
+        return list(self._corrections)
+
+    def start(self) -> None:
+        """Begin periodic synchronisation (first round fires immediately)."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop periodic synchronisation."""
+        self._timer.stop()
+
+    def sample_once(self) -> NtpSample:
+        """Perform one instantaneous request/response exchange.
+
+        The exchange is computed analytically rather than with simulated
+        message events: the delays are drawn now and the four timestamps
+        reconstructed.  This keeps NTP traffic from perturbing the event
+        ordering of the experiment proper while preserving its estimation
+        error characteristics exactly.
+        """
+        g0 = self._sim.now
+        out = self._delay_out()
+        back = self._delay_back()
+        if out < 0 or back < 0:
+            raise ValueError("NTP path delays must be non-negative")
+        t0 = self._client.local_from_global(g0)
+        t1 = self._server_now(g0 + out)
+        t2 = t1  # zero server processing time
+        t3 = self._client.local_from_global(g0 + out + back)
+        sample = NtpSample(t0=t0, t1=t1, t2=t2, t3=t3)
+        self._history.append(sample)
+        return sample
+
+    def _round(self, _tick: int) -> None:
+        samples = [self.sample_once() for _ in range(self._samples_per_round)]
+        best = min(samples, key=lambda s: s.round_trip)
+        self._client.adjust(best.offset)
+        self._corrections.append(best.offset)
+
+
+class DisciplinedClock(DriftingClock):
+    """A drifting clock bundled with its own NTP synchroniser.
+
+    Convenience wrapper: ``DisciplinedClock(sim, offset, drift, ...)`` builds
+    the clock and the synchroniser in one go; call :meth:`start_sync` before
+    running the simulation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        offset: float,
+        drift: float,
+        delay_out: Callable[[], float],
+        delay_back: Callable[[], float],
+        *,
+        poll_interval: float = 64.0,
+        samples_per_round: int = 4,
+    ) -> None:
+        super().__init__(sim, offset=offset, drift=drift)
+        self._synchronizer = NtpSynchronizer(
+            sim,
+            self,
+            server_now=lambda t: t,  # reference server reads true global time
+            delay_out=delay_out,
+            delay_back=delay_back,
+            poll_interval=poll_interval,
+            samples_per_round=samples_per_round,
+        )
+
+    @property
+    def synchronizer(self) -> NtpSynchronizer:
+        """The NTP synchroniser disciplining this clock."""
+        return self._synchronizer
+
+    def start_sync(self) -> None:
+        """Begin periodic NTP synchronisation."""
+        self._synchronizer.start()
+
+    def stop_sync(self) -> None:
+        """Stop periodic NTP synchronisation."""
+        self._synchronizer.stop()
+
+
+__all__ = ["DisciplinedClock", "NtpSample", "NtpSynchronizer"]

@@ -1,0 +1,77 @@
+"""Experiment harness: the paper's Section 5 in runnable form.
+
+* :mod:`repro.experiments.runner` — builds the Figure 3 architecture
+  (Heartbeater / SimCrash on the monitored side; MultiPlexer feeding all
+  detector combinations on the monitor side) from an
+  :class:`~repro.neko.config.ExperimentConfig` and runs it.
+* :mod:`repro.experiments.accuracy` — Section 5.1: predictor accuracy
+  (Table 3) and the ARIMA order selection (Table 2).
+* :mod:`repro.experiments.characterize` — Table 4: path characterisation.
+* :mod:`repro.experiments.qos` — Section 5.2: the QoS comparison behind
+  Figures 4–8.
+* :mod:`repro.experiments.report` — ASCII tables/series in the paper's
+  layout.
+"""
+
+from repro.experiments.runner import (
+    AggregatedQos,
+    QosRunResult,
+    aggregate_runs,
+    build_qos_system,
+    run_qos_experiment,
+    run_repetitions,
+)
+from repro.experiments.accuracy import (
+    collect_delay_trace,
+    predictor_accuracy,
+    rank_predictors,
+)
+from repro.experiments.characterize import characterize_profile
+from repro.experiments.qos import figure_data, qos_metric_value, run_figure_experiments
+from repro.experiments.report import (
+    format_figure_grid,
+    format_predictor_accuracy_table,
+    format_qos_report,
+    format_wan_table,
+)
+from repro.experiments.chart import render_figure
+from repro.experiments.compare import (
+    compare_campaigns,
+    format_comparison,
+)
+from repro.experiments.store import load_campaign, save_campaign
+from repro.experiments.sweep import (
+    SweepPoint,
+    format_sweep,
+    sweep_eta,
+    sweep_margin_level,
+)
+
+__all__ = [
+    "AggregatedQos",
+    "QosRunResult",
+    "SweepPoint",
+    "aggregate_runs",
+    "build_qos_system",
+    "characterize_profile",
+    "collect_delay_trace",
+    "compare_campaigns",
+    "figure_data",
+    "format_comparison",
+    "format_sweep",
+    "load_campaign",
+    "render_figure",
+    "save_campaign",
+    "sweep_eta",
+    "sweep_margin_level",
+    "format_figure_grid",
+    "format_predictor_accuracy_table",
+    "format_qos_report",
+    "format_wan_table",
+    "predictor_accuracy",
+    "qos_metric_value",
+    "rank_predictors",
+    "run_figure_experiments",
+    "run_qos_experiment",
+    "run_repetitions",
+]

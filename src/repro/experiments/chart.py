@@ -1,0 +1,117 @@
+"""ASCII line charts in the layout of the paper's figures.
+
+The paper's Figures 4-8 plot one metric with the six safety margins on
+the x-axis and one line per predictor ("interconnection lines serve only
+for clarity").  :func:`render_figure` draws the same picture in plain
+text so a terminal benchmark run shows the *shape* — crossings, the
+worst line, the CI/JAC split — not just the numbers.
+
+Example output::
+
+    T_MR (s)                         A=Arima L=Last F=LPF M=Mean W=WinMean
+    186.0 |                              A
+          |                      A       L
+          |                      L       FW
+     ...  |      M
+      5.6 | FLW M
+          +------+-------+-------+-------+-------+-------
+           CI_low CI_med CI_high JAC_low JAC_med JAC_high
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.fd.combinations import MARGIN_NAMES, PREDICTOR_NAMES
+
+#: One-letter markers per predictor, disambiguated.
+MARKERS: Dict[str, str] = {
+    "Arima": "A",
+    "Last": "L",
+    "LPF": "F",
+    "Mean": "M",
+    "WinMean": "W",
+}
+
+
+def render_figure(
+    data: Mapping[str, Mapping[str, float]],
+    title: str,
+    *,
+    height: int = 12,
+    column_width: int = 9,
+    log_scale: bool = False,
+    predictors: Sequence[str] = PREDICTOR_NAMES,
+    margins: Sequence[str] = MARGIN_NAMES,
+) -> str:
+    """Render one figure's data as an ASCII chart.
+
+    ``data`` is the ``{predictor: {margin: value}}`` mapping produced by
+    :func:`repro.experiments.qos.figure_data`.  ``log_scale`` helps for
+    T_MR, whose values span orders of magnitude.
+    """
+    if height < 3:
+        raise ValueError(f"height must be >= 3, got {height}")
+    values = [
+        data[p][m]
+        for p in predictors
+        for m in margins
+        if p in data and m in data.get(p, {}) and not math.isnan(data[p][m])
+    ]
+    if not values:
+        return f"{title}\n(no data)"
+
+    def transform(value: float) -> float:
+        return math.log10(value) if log_scale else value
+
+    low = min(transform(v) for v in values if not log_scale or v > 0)
+    high = max(transform(v) for v in values if not log_scale or v > 0)
+    span = high - low
+    if span == 0:
+        span = 1.0
+
+    def row_of(value: float) -> int:
+        position = (transform(value) - low) / span
+        return min(height - 1, max(0, round(position * (height - 1))))
+
+    # Lay the markers onto a grid: rows top-down, one column block per margin.
+    grid = [
+        [" " for _ in range(len(margins) * column_width)]
+        for _ in range(height)
+    ]
+    for margin_index, margin in enumerate(margins):
+        base = margin_index * column_width + column_width // 2
+        placed: Dict[int, int] = {}
+        for predictor in predictors:
+            value = data.get(predictor, {}).get(margin)
+            if value is None or math.isnan(value) or (log_scale and value <= 0):
+                continue
+            row = height - 1 - row_of(value)
+            offset = placed.get(row, 0)
+            column = min(base + offset, len(grid[0]) - 1)
+            grid[row][column] = MARKERS.get(predictor, predictor[0])
+            placed[row] = offset + 1
+
+    legend = " ".join(
+        f"{MARKERS.get(p, p[0])}={p}" for p in predictors
+    )
+    label_high = 10 ** high if log_scale else high
+    label_low = 10 ** low if log_scale else low
+    lines = [f"{title}    [{legend}]" + ("  (log scale)" if log_scale else "")]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{label_high:10.4g} "
+        elif row_index == height - 1:
+            label = f"{label_low:10.4g} "
+        else:
+            label = " " * 11
+        lines.append(label + "|" + "".join(row))
+    axis = " " * 11 + "+" + "-" * (len(margins) * column_width)
+    lines.append(axis)
+    labels = " " * 12 + "".join(f"{m:^{column_width}}" for m in margins)
+    lines.append(labels)
+    return "\n".join(lines)
+
+
+__all__ = ["MARKERS", "render_figure"]

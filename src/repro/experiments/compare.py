@@ -1,0 +1,164 @@
+"""Statistical comparison of two campaigns.
+
+Answering "did this change move the QoS?" needs more than eyeballing two
+grids: per-detector sample sets must be compared with a significance
+test.  :func:`compare_campaigns` runs Welch's t-test on the detection
+times and mistake durations of every detector present in both campaigns
+and reports the mean differences with confidence verdicts.
+
+(The paper's 13-run design exists for exactly this reason: its Section 5
+notes the sample sizes needed for "acceptable statistical validity".)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import AggregatedQos
+from repro.nekostat.stats import normal_quantile
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """Welch comparison of one metric between two campaigns."""
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    difference: float
+    t_statistic: float
+    significant: bool
+    n_a: int
+    n_b: int
+
+    @property
+    def relative_change(self) -> float:
+        """``(b − a) / a`` (inf when a is 0)."""
+        if self.mean_a == 0:
+            return math.inf if self.difference else 0.0
+        return self.difference / self.mean_a
+
+
+@dataclass(frozen=True)
+class DetectorComparison:
+    """All metric comparisons for one detector."""
+
+    detector: str
+    metrics: Dict[str, MetricComparison]
+
+    def any_significant(self) -> bool:
+        """Whether any metric moved significantly."""
+        return any(m.significant for m in self.metrics.values())
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> float:
+    """Welch's t statistic for two independent samples (0 if degenerate)."""
+    n_a, n_b = len(a), len(b)
+    if n_a < 2 or n_b < 2:
+        return 0.0
+    mean_a = sum(a) / n_a
+    mean_b = sum(b) / n_b
+    var_a = sum((x - mean_a) ** 2 for x in a) / (n_a - 1)
+    var_b = sum((x - mean_b) ** 2 for x in b) / (n_b - 1)
+    denominator = math.sqrt(var_a / n_a + var_b / n_b)
+    if denominator == 0.0:
+        return 0.0
+    return (mean_b - mean_a) / denominator
+
+
+def _compare_metric(
+    metric: str,
+    samples_a: Sequence[float],
+    samples_b: Sequence[float],
+    threshold: float,
+) -> Optional[MetricComparison]:
+    if not samples_a or not samples_b:
+        return None
+    mean_a = sum(samples_a) / len(samples_a)
+    mean_b = sum(samples_b) / len(samples_b)
+    t = welch_t(samples_a, samples_b)
+    return MetricComparison(
+        metric=metric,
+        mean_a=mean_a,
+        mean_b=mean_b,
+        difference=mean_b - mean_a,
+        t_statistic=t,
+        significant=abs(t) > threshold,
+        n_a=len(samples_a),
+        n_b=len(samples_b),
+    )
+
+
+def compare_campaigns(
+    campaign_a: Dict[str, AggregatedQos],
+    campaign_b: Dict[str, AggregatedQos],
+    *,
+    confidence: float = 0.99,
+) -> Dict[str, DetectorComparison]:
+    """Compare every detector present in both campaigns.
+
+    Returns per-detector :class:`DetectorComparison` objects covering the
+    ``td`` (detection time), ``tm`` (mistake duration) and ``tmr``
+    (mistake recurrence) sample sets.  ``significant`` uses the two-sided
+    normal threshold at ``confidence`` (sample sizes here are large
+    enough that the t/normal distinction is immaterial).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    threshold = normal_quantile(0.5 + confidence / 2.0)
+    shared = sorted(set(campaign_a) & set(campaign_b))
+    comparisons: Dict[str, DetectorComparison] = {}
+    for detector_id in shared:
+        a = campaign_a[detector_id]
+        b = campaign_b[detector_id]
+        metrics: Dict[str, MetricComparison] = {}
+        for metric, samples_a, samples_b in (
+            ("td", a.td_samples, b.td_samples),
+            ("tm", a.tm_samples, b.tm_samples),
+            ("tmr", a.tmr_samples, b.tmr_samples),
+        ):
+            comparison = _compare_metric(metric, samples_a, samples_b, threshold)
+            if comparison is not None:
+                metrics[metric] = comparison
+        comparisons[detector_id] = DetectorComparison(
+            detector=detector_id, metrics=metrics
+        )
+    return comparisons
+
+
+def format_comparison(
+    comparisons: Dict[str, DetectorComparison],
+    *,
+    only_significant: bool = False,
+) -> str:
+    """Render a comparison as a table (metric means in ms / s)."""
+    lines: List[str] = []
+    header = (f"{'detector':<18}{'metric':<7}{'A':>10}{'B':>10}"
+              f"{'diff':>10}{'t':>8}  verdict")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for detector_id in sorted(comparisons):
+        for metric, comparison in comparisons[detector_id].metrics.items():
+            if only_significant and not comparison.significant:
+                continue
+            scale, unit = (1e3, "ms") if metric in ("td", "tm") else (1.0, "s")
+            verdict = "SIGNIFICANT" if comparison.significant else "~same"
+            lines.append(
+                f"{detector_id:<18}{metric:<7}"
+                f"{comparison.mean_a * scale:>8.1f}{unit}"
+                f"{comparison.mean_b * scale:>8.1f}{unit}"
+                f"{comparison.difference * scale:>8.1f}{unit}"
+                f"{comparison.t_statistic:>8.2f}  {verdict}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DetectorComparison",
+    "MetricComparison",
+    "compare_campaigns",
+    "format_comparison",
+    "welch_t",
+]

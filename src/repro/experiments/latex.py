@@ -1,0 +1,105 @@
+"""LaTeX export of the reproduction's tables and figures.
+
+A reproduction repo is often cited next to the original paper; exporting
+the measured tables as ``tabular`` environments lets the comparison go
+straight into a write-up.  The exporters mirror the ASCII reporters of
+:mod:`repro.experiments.report` one-to-one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.experiments.characterize import PathCharacterization
+from repro.fd.combinations import MARGIN_NAMES, PREDICTOR_NAMES
+
+
+def _escape(text: str) -> str:
+    """Escape the LaTeX-active characters that can appear in our names."""
+    for char, replacement in (
+        ("\\", r"\textbackslash{}"),
+        ("&", r"\&"),
+        ("%", r"\%"),
+        ("_", r"\_"),
+        ("#", r"\#"),
+    ):
+        text = text.replace(char, replacement)
+    return text
+
+
+def latex_predictor_accuracy_table(accuracy_s2: Mapping[str, float]) -> str:
+    """Table 3 as a LaTeX ``tabular`` (input in s², printed in ms²)."""
+    ranked = sorted(accuracy_s2.items(), key=lambda item: item[1])
+    lines = [
+        r"\begin{tabular}{lr}",
+        r"\hline",
+        r"Predictor & msqerr (ms$^2$) \\",
+        r"\hline",
+    ]
+    for name, value in ranked:
+        lines.append(f"{_escape(name)} & {value * 1e6:.3f} \\\\")
+    lines += [r"\hline", r"\end{tabular}"]
+    return "\n".join(lines)
+
+
+def latex_wan_table(characterization: PathCharacterization) -> str:
+    """Table 4 as a LaTeX ``tabular``."""
+    delay = characterization.delay_ms()
+    rows = [
+        ("Mean one-way delay", f"{delay.mean:.1f} ms"),
+        ("Standard deviation", f"{delay.std:.1f} ms"),
+        ("Maximum one-way delay", f"{delay.maximum:.1f} ms"),
+        ("Minimum one-way delay", f"{delay.minimum:.1f} ms"),
+        ("Number of hops", f"{characterization.hops}"),
+        ("Loss probability", f"{characterization.loss_probability * 100:.2f}\\%"),
+    ]
+    lines = [r"\begin{tabular}{lr}", r"\hline"]
+    for label, value in rows:
+        lines.append(f"{_escape(label)} & {value} \\\\")
+    lines += [r"\hline", r"\end{tabular}"]
+    return "\n".join(lines)
+
+
+def latex_figure_grid(
+    data: Mapping[str, Mapping[str, float]],
+    caption: str,
+    *,
+    scale: float = 1e3,
+    decimals: int = 1,
+    predictors: Sequence[str] = PREDICTOR_NAMES,
+    margins: Sequence[str] = MARGIN_NAMES,
+) -> str:
+    """One figure's grid as a LaTeX ``table`` with caption."""
+    column_spec = "l" + "r" * len(margins)
+    lines = [
+        r"\begin{table}[ht]",
+        r"\centering",
+        rf"\begin{{tabular}}{{{column_spec}}}",
+        r"\hline",
+        " & ".join([""] + [_escape(m) for m in margins]) + r" \\",
+        r"\hline",
+    ]
+    for predictor in predictors:
+        cells = [_escape(predictor)]
+        for margin in margins:
+            value = data.get(predictor, {}).get(margin, math.nan)
+            if math.isnan(value):
+                cells.append("--")
+            else:
+                cells.append(f"{value * scale:.{decimals}f}")
+        lines.append(" & ".join(cells) + r" \\")
+    lines += [
+        r"\hline",
+        r"\end{tabular}",
+        rf"\caption{{{_escape(caption)}}}",
+        r"\end{table}",
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "latex_figure_grid",
+    "latex_predictor_accuracy_table",
+    "latex_wan_table",
+]

@@ -1,0 +1,111 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmarks print these so a run's output can be compared side by side
+with the paper: Table 3 (predictor accuracy), Table 4 (path
+characteristics) and the Figure 4–8 grids (rows = predictors, columns =
+the six safety margins).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.experiments.characterize import PathCharacterization
+from repro.fd.combinations import MARGIN_NAMES, PREDICTOR_NAMES
+
+
+def format_predictor_accuracy_table(accuracy_s2: Mapping[str, float]) -> str:
+    """Render Table 3: predictors ranked by ``msqerr``.
+
+    Input values are in seconds² (as produced by
+    :func:`repro.experiments.accuracy.predictor_accuracy`); the table
+    prints ms², the paper's scale.
+    """
+    ranked = sorted(accuracy_s2.items(), key=lambda item: item[1])
+    lines = [
+        "Table 3 - Predictor Accuracy",
+        f"{'Predictor':<14}{'msqerr (ms^2)':>16}",
+        "-" * 30,
+    ]
+    for name, value in ranked:
+        lines.append(f"{name:<14}{value * 1e6:>16.3f}")
+    return "\n".join(lines)
+
+
+def format_wan_table(characterization: PathCharacterization) -> str:
+    """Render Table 4: path characteristics."""
+    delay = characterization.delay_ms()
+    lines = [
+        f"Table 4 - Characteristics of the path ({characterization.profile_name})",
+        f"{'Mean one-way delay':<28}{delay.mean:>10.1f} ms",
+        f"{'Standard deviation':<28}{delay.std:>10.1f} ms",
+        f"{'Maximum one-way delay':<28}{delay.maximum:>10.1f} ms",
+        f"{'Minimum one-way delay':<28}{delay.minimum:>10.1f} ms",
+        f"{'Number of hops':<28}{characterization.hops:>10d}",
+        f"{'Loss probability':<28}{characterization.loss_probability * 100:>9.2f} %",
+        f"{'Lag-1 autocorrelation':<28}{characterization.lag1_autocorrelation:>10.3f}",
+    ]
+    return "\n".join(lines)
+
+
+def format_figure_grid(
+    data: Mapping[str, Mapping[str, float]],
+    title: str,
+    *,
+    unit: str = "ms",
+    scale: float = 1e3,
+    predictors: Sequence[str] = PREDICTOR_NAMES,
+    margins: Sequence[str] = MARGIN_NAMES,
+    decimals: int = 1,
+) -> str:
+    """Render one figure as a predictor × margin grid.
+
+    ``scale`` converts stored values to the printed unit (1e3 for
+    seconds → ms; use ``scale=1, unit=""`` for probabilities).
+    """
+    width = max(10, decimals + 8)
+    header = f"{'':<10}" + "".join(f"{margin:>{width}}" for margin in margins)
+    lines = [title, header, "-" * len(header)]
+    for predictor in predictors:
+        row = [f"{predictor:<10}"]
+        for margin in margins:
+            value = data.get(predictor, {}).get(margin, math.nan)
+            if math.isnan(value):
+                row.append(f"{'-':>{width}}")
+            else:
+                row.append(f"{value * scale:>{width}.{decimals}f}")
+        lines.append("".join(row))
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def format_qos_report(
+    figures: Mapping[str, Mapping[str, Mapping[str, float]]],
+    *,
+    titles: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render several figures (keyed by metric) into one report."""
+    from repro.experiments.qos import FIGURE_METRICS
+
+    if titles is None:
+        titles = FIGURE_METRICS
+    blocks = []
+    for metric, data in figures.items():
+        title = titles.get(metric, metric)
+        if metric == "pa":
+            blocks.append(
+                format_figure_grid(data, title, unit="", scale=1.0, decimals=6)
+            )
+        else:
+            blocks.append(format_figure_grid(data, title, unit="ms", scale=1e3))
+    return "\n\n".join(blocks)
+
+
+__all__ = [
+    "format_figure_grid",
+    "format_predictor_accuracy_table",
+    "format_qos_report",
+    "format_wan_table",
+]

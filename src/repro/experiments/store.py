@@ -1,0 +1,116 @@
+"""Persistence of experiment results.
+
+A QoS campaign is expensive (the paper's full campaign is 13 runs of
+100 000 cycles × 30 detectors); this module saves its pooled outcome as a
+versioned JSON document so analyses and comparisons can run without
+re-simulating.  The document stores raw *samples* (detection times,
+mistake durations, recurrence gaps), not just summaries, so any later
+statistic can be recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.experiments.runner import AggregatedQos
+from repro.neko.config import ExperimentConfig
+
+FORMAT_VERSION = 1
+
+
+def campaign_to_dict(
+    pooled: Dict[str, AggregatedQos],
+    config: ExperimentConfig,
+    *,
+    runs: int,
+) -> dict:
+    """Serialise a pooled campaign into a plain dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "num_cycles": config.num_cycles,
+            "mttc": config.mttc,
+            "ttr": config.ttr,
+            "eta": config.eta,
+            "profile_name": config.profile_name,
+            "seed": config.seed,
+            "clock_offset": config.clock_offset,
+            "clock_drift": config.clock_drift,
+            "extras": dict(config.extras),
+        },
+        "runs": runs,
+        "detectors": {
+            detector_id: {
+                "td_samples": list(aggregate.td_samples),
+                "tm_samples": list(aggregate.tm_samples),
+                "tmr_samples": list(aggregate.tmr_samples),
+                "undetected_crashes": aggregate.undetected_crashes,
+                "up_time": aggregate.up_time,
+                "suspected_up_time": aggregate.suspected_up_time,
+            }
+            for detector_id, aggregate in pooled.items()
+        },
+    }
+
+
+def campaign_from_dict(document: dict) -> Dict[str, AggregatedQos]:
+    """Rebuild the pooled campaign from a serialised dictionary."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported campaign format version {version!r} "
+            f"(supported: {FORMAT_VERSION})"
+        )
+    pooled: Dict[str, AggregatedQos] = {}
+    for detector_id, payload in document["detectors"].items():
+        pooled[detector_id] = AggregatedQos(
+            detector=detector_id,
+            td_samples=[float(v) for v in payload["td_samples"]],
+            tm_samples=[float(v) for v in payload["tm_samples"]],
+            tmr_samples=[float(v) for v in payload["tmr_samples"]],
+            undetected_crashes=int(payload["undetected_crashes"]),
+            up_time=float(payload["up_time"]),
+            suspected_up_time=float(payload["suspected_up_time"]),
+        )
+    return pooled
+
+
+def save_campaign(
+    path: Union[str, Path],
+    pooled: Dict[str, AggregatedQos],
+    config: ExperimentConfig,
+    *,
+    runs: int,
+) -> None:
+    """Write a pooled campaign to ``path`` as JSON."""
+    document = campaign_to_dict(pooled, config, runs=runs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_campaign(path: Union[str, Path]) -> Dict[str, AggregatedQos]:
+    """Load a pooled campaign previously written by :func:`save_campaign`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return campaign_from_dict(document)
+
+
+def load_campaign_config(path: Union[str, Path]) -> ExperimentConfig:
+    """Recover the :class:`ExperimentConfig` a stored campaign used."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported campaign format version")
+    return ExperimentConfig(**document["config"])
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "campaign_from_dict",
+    "campaign_to_dict",
+    "load_campaign",
+    "load_campaign_config",
+    "save_campaign",
+]

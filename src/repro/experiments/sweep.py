@@ -1,0 +1,149 @@
+"""Parameter sweeps: QoS as a function of the experiment knobs.
+
+The paper fixes the heartbeat period at ``eta = 1 s`` (Table 5) and the
+margin levels at three points (Table 1).  These sweeps treat them as the
+continuous dials they are:
+
+* :func:`sweep_eta` — QoS versus heartbeat rate.  The message cost is
+  ``1/eta`` per second; detection time grows like ``eta/2 + delta``;
+  the mistake *rate* per second falls as heartbeats get rarer.  This is
+  the cost/QoS frontier an operator actually tunes.
+* :func:`sweep_margin_level` — QoS versus a continuous γ (for ``SM_CI``)
+  or φ (for ``SM_JAC``), generalising the three-point Table 1 grid and
+  exposing where the accuracy/delay trade-off curve bends.
+
+Both reuse the standard experiment runner, so every point is a full
+crash-injected run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import MONITORED, build_qos_system
+from repro.fd.combinations import make_margin, make_predictor
+from repro.fd.detector import PushFailureDetector
+from repro.fd.safety import ConfidenceIntervalMargin, JacobsonMargin
+from repro.fd.timeout import TimeoutStrategy
+from repro.neko.config import ExperimentConfig
+from repro.nekostat.metrics import DetectorQos, extract_qos
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """QoS measured at one parameter value."""
+
+    value: float
+    detection_time: float
+    detection_time_max: float
+    mistake_rate: float          # mistakes per second of up-time
+    mistakes: int
+    query_accuracy: float
+    messages_per_second: float
+
+    @classmethod
+    def from_qos(cls, value: float, qos: DetectorQos, eta: float) -> "SweepPoint":
+        return cls(
+            value=value,
+            detection_time=qos.t_d.mean if qos.t_d else float("nan"),
+            detection_time_max=qos.t_d_upper if qos.t_d_upper else float("nan"),
+            mistake_rate=qos.mistake_rate,
+            mistakes=len(qos.mistakes),
+            query_accuracy=qos.p_a,
+            messages_per_second=1.0 / eta,
+        )
+
+
+def _run_one(
+    config: ExperimentConfig,
+    strategy: TimeoutStrategy,
+    detector_id: str,
+) -> DetectorQos:
+    parts = build_qos_system(config, [], extra_monitor_layers=lambda log: [
+        PushFailureDetector(
+            strategy, MONITORED, config.eta, log,
+            detector_id=detector_id,
+            initial_timeout=config.extras.get("initial_timeout", 10.0 * config.eta),
+        )
+    ])
+    parts["system"].run(until=config.duration)  # type: ignore[attr-defined]
+    return extract_qos(
+        parts["event_log"], end_time=config.duration,  # type: ignore[arg-type]
+        detectors=[detector_id],
+    )[detector_id]
+
+
+def sweep_eta(
+    base_config: ExperimentConfig,
+    etas: Sequence[float],
+    *,
+    predictor_name: str = "Last",
+    margin_name: str = "JAC_med",
+) -> List[SweepPoint]:
+    """Run the experiment at each heartbeat period in ``etas``.
+
+    The virtual *duration* (seconds) is held fixed — not the cycle count —
+    so every point sees the same crash schedule length.
+    """
+    if not etas:
+        raise ValueError("need at least one eta")
+    duration = base_config.duration
+    points = []
+    for eta in etas:
+        if eta <= 0:
+            raise ValueError(f"eta must be > 0, got {eta!r}")
+        cycles = max(1, int(round(duration / eta)))
+        config = replace(base_config, eta=eta, num_cycles=cycles)
+        strategy = TimeoutStrategy(
+            make_predictor(predictor_name), make_margin(margin_name)
+        )
+        qos = _run_one(config, strategy, f"sweep-eta-{eta}")
+        points.append(SweepPoint.from_qos(eta, qos, eta))
+    return points
+
+
+def sweep_margin_level(
+    base_config: ExperimentConfig,
+    levels: Sequence[float],
+    *,
+    family: str = "CI",
+    predictor_name: str = "Last",
+) -> List[SweepPoint]:
+    """Run the experiment at each margin level (γ for CI, φ for JAC)."""
+    if family not in ("CI", "JAC"):
+        raise ValueError(f"family must be 'CI' or 'JAC', got {family!r}")
+    if not levels:
+        raise ValueError("need at least one level")
+    points = []
+    for level in levels:
+        if level <= 0:
+            raise ValueError(f"levels must be > 0, got {level!r}")
+        if family == "CI":
+            margin = ConfidenceIntervalMargin(gamma=level)
+        else:
+            margin = JacobsonMargin(phi=level)
+        strategy = TimeoutStrategy(make_predictor(predictor_name), margin)
+        qos = _run_one(base_config, strategy, f"sweep-{family}-{level}")
+        points.append(SweepPoint.from_qos(level, qos, base_config.eta))
+    return points
+
+
+def format_sweep(points: Sequence[SweepPoint], parameter: str) -> str:
+    """Render sweep points as a table."""
+    header = (f"{parameter:>10}{'msg/s':>8}{'T_D':>10}{'T_D^U':>10}"
+              f"{'mistakes/h':>12}{'P_A':>10}")
+    lines = [header, "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.value:>10.3g}"
+            f"{point.messages_per_second:>8.2f}"
+            f"{point.detection_time * 1e3:>8.0f}ms"
+            f"{point.detection_time_max * 1e3:>8.0f}ms"
+            f"{point.mistake_rate * 3600:>12.1f}"
+            f"{point.query_accuracy:>10.5f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["SweepPoint", "format_sweep", "sweep_eta", "sweep_margin_level"]

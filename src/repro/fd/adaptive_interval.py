@@ -1,0 +1,184 @@
+"""Adaptive heartbeat-interval negotiation (the Bertier [2] extension).
+
+The paper's detector keeps the sending interval ``eta`` constant and
+notes the contrast with Bertier, Marin & Sens (DSN 2002), whose detector
+"also the sending period is adaptable".  This module implements that
+missing half as an optional extension:
+
+* :class:`AdaptiveHeartbeater` — a heartbeater whose period can be
+  changed at runtime by ``set-interval`` control messages from the
+  monitor (period changes take effect at the next cycle; sequence
+  numbers keep increasing, and each heartbeat carries its own send time,
+  so the detector side needs **no change** — its freshness points are
+  computed from the timestamp plus the *negotiated* period);
+* :class:`IntervalController` — the monitor-side policy: given a
+  worst-case detection-time requirement ``T_D^U``, it keeps
+  ``eta <= T_D^U − delta`` (the Chen et al. tuning identity, cf.
+  :mod:`repro.fd.analysis`), re-negotiating whenever the detector's
+  current time-out drifts enough to matter.
+
+The ``interval_provider`` hook on :class:`PushFailureDetector` is not
+needed: the controller simply rebuilds the detector's ``eta`` via
+:meth:`PushFailureDetector.update_eta` after each successful negotiation
+(acknowledged by the heartbeater).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.fd.detector import PushFailureDetector
+from repro.fd.heartbeat import Heartbeater
+from repro.neko.layer import Layer
+from repro.net.message import Datagram
+from repro.sim.process import PeriodicTimer
+
+
+class AdaptiveHeartbeater(Heartbeater):
+    """A heartbeater whose period follows ``set-interval`` requests.
+
+    The message protocol is deliberately minimal: the monitor sends a
+    ``set-interval`` datagram carrying the new period (seconds) in the
+    payload; the heartbeater applies it from the next cycle and replies
+    with ``interval-ack`` echoing the value.  Bounds protect against a
+    corrupted or adversarial request.
+    """
+
+    def __init__(
+        self,
+        monitor: str,
+        eta: float,
+        event_log=None,
+        *,
+        min_eta: float = 0.05,
+        max_eta: float = 60.0,
+        record_sent_events: bool = False,
+    ) -> None:
+        super().__init__(
+            monitor, eta, event_log, record_sent_events=record_sent_events
+        )
+        if not 0 < min_eta <= eta <= max_eta:
+            raise ValueError(
+                f"need 0 < min_eta <= eta <= max_eta, got "
+                f"{min_eta!r} <= {eta!r} <= {max_eta!r}"
+            )
+        self.min_eta = float(min_eta)
+        self.max_eta = float(max_eta)
+        self.interval_changes = 0
+
+    def deliver(self, message: Datagram) -> None:
+        if message.kind != "set-interval":
+            self.deliver_up(message)
+            return
+        requested = float(message.payload)
+        new_eta = min(self.max_eta, max(self.min_eta, requested))
+        if new_eta != self.eta:
+            self._apply_interval(new_eta)
+        self.send_down(message.reply("interval-ack", payload=new_eta))
+
+    def _apply_interval(self, new_eta: float) -> None:
+        self.eta = new_eta
+        self.interval_changes += 1
+        if self._timer is not None and self._timer.running:
+            # Restart the cycle with the new period anchored at the *last
+            # send time* — the detector computes its next freshness point
+            # as last-timestamp + eta + delta, so anchoring anywhere else
+            # would desynchronise the two sides.  Sequence numbers
+            # continue from where they were.
+            now = self.process.sim.now
+            anchor = self.last_send_time if self.last_send_time is not None else now
+            next_seq = self._timer.next_tick
+            self._timer.stop()
+            self._timer = PeriodicTimer(
+                self.process.sim,
+                new_eta,
+                self._beat_with_offset(next_seq),
+                start=max(now, anchor + new_eta),
+                name="heartbeat",
+            )
+            self._timer.start()
+
+    def _beat_with_offset(self, base_seq: int) -> Callable[[int], None]:
+        def beat(tick: int) -> None:
+            self._beat(base_seq + tick)
+
+        return beat
+
+
+class IntervalController(Layer):
+    """Monitor-side policy renegotiating ``eta`` from a ``T_D^U`` target.
+
+    Periodically evaluates ``eta_needed = detection_target − current
+    time-out`` and, when the in-force value differs by more than
+    ``tolerance`` (relative), sends a ``set-interval`` request.  The new
+    period is adopted locally only when the heartbeater's
+    ``interval-ack`` arrives, keeping both sides agreed.
+    """
+
+    def __init__(
+        self,
+        detector: PushFailureDetector,
+        monitored: str,
+        detection_target: float,
+        *,
+        check_interval: float = 10.0,
+        tolerance: float = 0.2,
+        min_eta: float = 0.05,
+    ) -> None:
+        super().__init__(name="IntervalController")
+        if detection_target <= 0:
+            raise ValueError(f"detection_target must be > 0, got {detection_target!r}")
+        if not 0.0 < tolerance < 1.0:
+            raise ValueError(f"tolerance must be in (0, 1), got {tolerance!r}")
+        self.detector = detector
+        self.monitored = monitored
+        self.detection_target = float(detection_target)
+        self.check_interval = float(check_interval)
+        self.tolerance = float(tolerance)
+        self.min_eta = float(min_eta)
+        self.negotiations: List[float] = []
+        self._pending: Optional[float] = None
+        self._timer: Optional[PeriodicTimer] = None
+
+    def on_start(self) -> None:
+        self._timer = self.process.periodic_timer(
+            self.check_interval, self._check, name="interval-controller"
+        )
+        self._timer.start()
+
+    def desired_eta(self) -> float:
+        """``detection_target − delta``, floored at ``min_eta``.
+
+        From ``T_D <= eta + delta``: to guarantee the target worst-case
+        detection time, the period must not exceed the slack left by the
+        current time-out.
+        """
+        slack = self.detection_target - self.detector.current_timeout()
+        return max(self.min_eta, slack)
+
+    def _check(self, _tick: int) -> None:
+        if self._pending is not None:
+            return  # negotiation in flight
+        desired = self.desired_eta()
+        current = self.detector.eta
+        if current <= 0 or abs(desired - current) / current <= self.tolerance:
+            return
+        self._pending = desired
+        self.send_down(Datagram(
+            source=self.process.address,
+            destination=self.monitored,
+            kind="set-interval",
+            payload=desired,
+        ))
+
+    def deliver(self, message: Datagram) -> None:
+        if message.kind != "interval-ack":
+            self.deliver_up(message)
+            return
+        agreed = float(message.payload)
+        self.detector.update_eta(agreed)
+        self.negotiations.append(agreed)
+        self._pending = None
+
+
+__all__ = ["AdaptiveHeartbeater", "IntervalController"]

@@ -1,0 +1,185 @@
+"""Analytic QoS of a constant-time-out failure detector (Chen et al.).
+
+The paper's reference [5] (Chen, Toueg & Aguilera, DSN 2000) evaluates
+its NFD algorithm both analytically — from the probabilistic
+characterisation of the network — and by simulation, and checks that the
+two agree.  This module provides the same capability for the
+reproduction's constant-time-out detector, so the simulator can be
+validated against closed-form predictions (see
+``tests/test_analysis.py``).
+
+Model (the detector of :mod:`repro.fd.detector` with a constant
+``delta``): heartbeats every ``eta``; message ``m_i`` sent at
+``sigma_i = i*eta``; freshness point ``tau_i = sigma_i + delta``; delays
+i.i.d. with distribution ``F`` (given empirically as a sample); losses
+independent with probability ``p_L``.  Assuming ``delta < eta +
+min-delay`` (heartbeats cannot pre-empt earlier freshness points —
+satisfied by every configuration in the paper):
+
+* **worst-case detection time** ``T_D^U = eta + delta`` exactly: the
+  crash can occur just after a send, and the first missed freshness
+  point is one period plus the time-out later (exact provided delays
+  never exceed ``eta + delta``; an in-flight heartbeat slower than that
+  can arrive *during* the crash and postpone the permanent suspicion to
+  its own arrival, stretching the bound to ``max(eta + delta, D_max)``);
+* **mean detection time** ``E[T_D] = eta/2 + delta``: the crash instant
+  is uniform in the cycle;
+* a **mistake** begins at ``tau_{i+1}`` whenever ``m_{i+1}`` is lost or
+  later than ``delta`` (probability ``u = p_L + (1-p_L) * P(D > delta)``
+  per cycle), giving ``E[T_MR] ~= eta / u``;
+* the mistake lasts until the first fresh heartbeat: to first order
+  ``E[T_M | late] = E[D - delta | D > delta]`` and
+  ``E[T_M | lost] = eta + E[D] - delta`` (the next heartbeat corrects),
+  mixed by the relative weight of the two causes;
+* ``P_A = 1 - E[T_M] / E[T_MR]``.
+
+The first-order approximation ignores runs of consecutive losses (their
+probability is ``O(p_L^2)``) — accuracy is within a few percent at the
+paper's loss rates, which the validation tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AnalyticQos:
+    """Closed-form QoS predictions for one (eta, delta) configuration."""
+
+    eta: float
+    delta: float
+    detection_time_mean: float
+    detection_time_worst: float
+    mistake_recurrence_mean: float
+    mistake_duration_mean: float
+    query_accuracy: float
+    mistake_probability_per_cycle: float
+
+
+class ConstantTimeoutAnalysis:
+    """Analytic QoS from an empirical delay sample and a loss rate.
+
+    Parameters
+    ----------
+    delays:
+        A representative sample of one-way delays (seconds) — e.g. a
+        :class:`~repro.net.traces.DelayTrace` — standing in for the delay
+        distribution ``F``.
+    eta:
+        The heartbeat period, seconds.
+    loss_probability:
+        Per-heartbeat independent loss probability ``p_L``.
+    """
+
+    def __init__(
+        self,
+        delays: Sequence[float],
+        eta: float,
+        *,
+        loss_probability: float = 0.0,
+    ) -> None:
+        sample = np.asarray(delays, dtype=float)
+        if sample.size == 0:
+            raise ValueError("delay sample must be non-empty")
+        if np.any(sample < 0) or not np.all(np.isfinite(sample)):
+            raise ValueError("delays must be finite and >= 0")
+        if eta <= 0:
+            raise ValueError(f"eta must be > 0, got {eta!r}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability!r}"
+            )
+        self._delays = np.sort(sample)
+        self.eta = float(eta)
+        self.loss_probability = float(loss_probability)
+
+    # ------------------------------------------------------------------
+    # Distribution helpers
+    # ------------------------------------------------------------------
+    def late_probability(self, delta: float) -> float:
+        """``P(D > delta)`` from the empirical sample."""
+        index = np.searchsorted(self._delays, delta, side="right")
+        return float(self._delays.size - index) / self._delays.size
+
+    def mean_delay(self) -> float:
+        """``E[D]``."""
+        return float(np.mean(self._delays))
+
+    def mean_excess(self, delta: float) -> float:
+        """``E[D − delta | D > delta]`` (0 if nothing exceeds delta)."""
+        tail = self._delays[self._delays > delta]
+        if tail.size == 0:
+            return 0.0
+        return float(np.mean(tail - delta))
+
+    # ------------------------------------------------------------------
+    # QoS predictions
+    # ------------------------------------------------------------------
+    def predict(self, delta: float) -> AnalyticQos:
+        """Predict the QoS of the detector with time-out ``delta``."""
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta!r}")
+        p_late = (1.0 - self.loss_probability) * self.late_probability(delta)
+        u = self.loss_probability + p_late
+        if u > 0:
+            recurrence = self.eta / u
+            weight_late = p_late / u
+            weight_lost = self.loss_probability / u
+            duration = (
+                weight_late * self.mean_excess(delta)
+                + weight_lost * (self.eta + self.mean_delay() - delta)
+            )
+            duration = max(duration, 0.0)
+            accuracy = max(0.0, 1.0 - duration / recurrence)
+        else:
+            recurrence = math.inf
+            duration = 0.0
+            accuracy = 1.0
+        return AnalyticQos(
+            eta=self.eta,
+            delta=float(delta),
+            detection_time_mean=self.eta / 2.0 + delta,
+            detection_time_worst=self.eta + delta,
+            mistake_recurrence_mean=recurrence,
+            mistake_duration_mean=duration,
+            query_accuracy=accuracy,
+            mistake_probability_per_cycle=u,
+        )
+
+    def delta_for_recurrence(self, target_t_mr: float) -> float:
+        """Smallest ``delta`` whose predicted ``T_MR`` meets the target.
+
+        This is the paper's tuning story in reverse: *"if T_MR needs to be
+        much higher ... it is necessary to work on the safety margin by
+        increasing it until the desired T_MR is reached."*  Only the
+        late-message cause responds to ``delta``; if the loss rate alone
+        keeps ``T_MR`` below target, the demand is unsatisfiable and
+        ``ValueError`` is raised.
+        """
+        if target_t_mr <= 0:
+            raise ValueError(f"target_t_mr must be > 0, got {target_t_mr!r}")
+        u_needed = self.eta / target_t_mr
+        if self.loss_probability >= u_needed:
+            raise ValueError(
+                f"loss probability {self.loss_probability} alone forces "
+                f"T_MR <= {self.eta / self.loss_probability:.1f} s"
+            )
+        p_late_needed = (u_needed - self.loss_probability) / (
+            1.0 - self.loss_probability
+        )
+        # Smallest delta with P(D > delta) <= p_late_needed: walk the
+        # empirical quantiles.
+        quantile = 1.0 - p_late_needed
+        index = min(
+            int(math.ceil(quantile * self._delays.size)),
+            self._delays.size - 1,
+        )
+        return float(self._delays[index])
+
+
+__all__ = ["AnalyticQos", "ConstantTimeoutAnalysis"]

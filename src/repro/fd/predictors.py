@@ -1,0 +1,246 @@
+"""The five delay predictors of the paper's Section 3.1.
+
+Every predictor consumes the list ``obs = [obs_1 .. obs_n]`` of observed
+heartbeat transmission delays (in arrival order — losses and reordering
+mean this is *not* sequence-number order) and forecasts the next delay:
+
+* ``LAST`` — the last observation;
+* ``MEAN`` — the mean of all observations;
+* ``WINMEAN(N)`` — the mean of the last ``N`` (equal to MEAN while
+  ``n < N``);
+* ``LPF(beta)`` — exponential smoothing
+  ``pred_{k+1} = (1 − beta) pred_k + beta obs_n``;
+* ``ARIMA(p, d, q)`` — the Box–Jenkins model, via
+  :class:`repro.timeseries.arima.ArimaForecaster` (paper: (2, 1, 1),
+  refitted every 1000 observations).
+
+All predictors run in O(1) per observation (the paper's complexity
+remark), including MEAN (running sum) and WINMEAN (ring buffer).
+
+A predictor with no observations yet returns ``initial_prediction``
+(default 0.0): the failure detector must always be able to arm a time-out.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+from repro.timeseries.arima import ArimaForecaster
+from repro.timeseries.base import Forecaster
+
+
+class Predictor(Forecaster):
+    """Base class for delay predictors: a named, resettable forecaster."""
+
+    #: Short name used in detector identifiers (e.g. ``"Last"``).
+    name: str = "Predictor"
+
+    def __init__(self, initial_prediction: float = 0.0) -> None:
+        self._initial_prediction = float(initial_prediction)
+        self._observations = 0
+
+    @property
+    def observations(self) -> int:
+        """How many delays have been observed."""
+        return self._observations
+
+    def observe(self, value: float) -> None:
+        """Feed one observed delay (seconds)."""
+        if not math.isfinite(value):
+            raise ValueError(f"observed delay must be finite, got {value!r}")
+        self._observations += 1
+        self._observe(float(value))
+
+    def predict(self) -> float:
+        """Forecast the next delay (seconds)."""
+        if self._observations == 0:
+            return self._initial_prediction
+        return self._predict()
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self._observations = 0
+        self._reset()
+
+    # Subclass hooks -----------------------------------------------------
+    def _observe(self, value: float) -> None:
+        raise NotImplementedError
+
+    def _predict(self) -> float:
+        raise NotImplementedError
+
+    def _reset(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(observations={self._observations})"
+
+
+class LastPredictor(Predictor):
+    """``pred_{k+1} = obs_n`` — the last observation."""
+
+    name = "Last"
+
+    def __init__(self, initial_prediction: float = 0.0) -> None:
+        super().__init__(initial_prediction)
+        self._last = 0.0
+
+    def _observe(self, value: float) -> None:
+        self._last = value
+
+    def _predict(self) -> float:
+        return self._last
+
+    def _reset(self) -> None:
+        self._last = 0.0
+
+
+class MeanPredictor(Predictor):
+    """``pred_{k+1} = (1/n) * sum(obs)`` — the mean of all observations.
+
+    Maintained as a running sum: O(1) per observation, exact for the run
+    lengths used here.
+    """
+
+    name = "Mean"
+
+    def __init__(self, initial_prediction: float = 0.0) -> None:
+        super().__init__(initial_prediction)
+        self._sum = 0.0
+
+    def _observe(self, value: float) -> None:
+        self._sum += value
+
+    def _predict(self) -> float:
+        return self._sum / self._observations
+
+    def _reset(self) -> None:
+        self._sum = 0.0
+
+
+class WinMeanPredictor(Predictor):
+    """``pred_{k+1}`` = mean of the last ``N`` observations.
+
+    While fewer than ``N`` observations exist, WINMEAN(N) equals MEAN, as
+    specified in the paper.  The paper's instance uses ``N = 10``.
+    """
+
+    name = "WinMean"
+
+    def __init__(self, window: int = 10, initial_prediction: float = 0.0) -> None:
+        super().__init__(initial_prediction)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._buffer: Deque[float] = deque(maxlen=self.window)
+        self._window_sum = 0.0
+
+    def _observe(self, value: float) -> None:
+        if len(self._buffer) == self.window:
+            self._window_sum -= self._buffer[0]
+        self._buffer.append(value)
+        self._window_sum += value
+
+    def _predict(self) -> float:
+        return self._window_sum / len(self._buffer)
+
+    def _reset(self) -> None:
+        self._buffer.clear()
+        self._window_sum = 0.0
+
+
+class LpfPredictor(Predictor):
+    """Exponential smoothing (low-pass filter).
+
+    ``pred_{k+1} = pred_k + beta * (obs_n − pred_k)
+                 = (1 − beta) pred_k + beta obs_n``
+
+    The paper's instance uses ``beta = 1/8`` (the classic TCP smoothed-RTT
+    gain).  The filter is seeded with the first observation.
+    """
+
+    name = "LPF"
+
+    def __init__(self, beta: float = 0.125, initial_prediction: float = 0.0) -> None:
+        super().__init__(initial_prediction)
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta!r}")
+        self.beta = float(beta)
+        self._estimate: Optional[float] = None
+
+    def _observe(self, value: float) -> None:
+        if self._estimate is None:
+            self._estimate = value
+        else:
+            self._estimate += self.beta * (value - self._estimate)
+
+    def _predict(self) -> float:
+        assert self._estimate is not None
+        return self._estimate
+
+    def _reset(self) -> None:
+        self._estimate = None
+
+
+class ArimaPredictor(Predictor):
+    """ARIMA(p, d, q) prediction via the time-series substrate.
+
+    The paper's instance is ARIMA(2, 1, 1) with coefficients re-estimated
+    every ``N_arima = 1000`` observations.  Before the first fit the
+    underlying forecaster predicts the last value, so the detector is
+    usable from the first heartbeat.
+    """
+
+    name = "Arima"
+
+    def __init__(
+        self,
+        p: int = 2,
+        d: int = 1,
+        q: int = 1,
+        *,
+        refit_interval: int = 1000,
+        initial_fit: int = 200,
+        fit_window: int = 4000,
+        initial_prediction: float = 0.0,
+    ) -> None:
+        super().__init__(initial_prediction)
+        self._forecaster = ArimaForecaster(
+            p,
+            d,
+            q,
+            refit_interval=refit_interval,
+            initial_fit=initial_fit,
+            fit_window=fit_window,
+        )
+
+    @property
+    def forecaster(self) -> ArimaForecaster:
+        """The underlying online ARIMA forecaster."""
+        return self._forecaster
+
+    @property
+    def order(self) -> tuple:
+        """The (p, d, q) order."""
+        return (self._forecaster.p, self._forecaster.d, self._forecaster.q)
+
+    def _observe(self, value: float) -> None:
+        self._forecaster.observe(value)
+
+    def _predict(self) -> float:
+        return self._forecaster.predict()
+
+    def _reset(self) -> None:
+        self._forecaster.reset()
+
+
+__all__ = [
+    "ArimaPredictor",
+    "LastPredictor",
+    "LpfPredictor",
+    "MeanPredictor",
+    "Predictor",
+    "WinMeanPredictor",
+]

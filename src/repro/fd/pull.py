@@ -1,0 +1,183 @@
+"""A pull-style failure detector (paper Section 2.2).
+
+In pull style the monitor interrogates: it sends a request every ``eta``
+and expects a reply; the monitored process answers each request.  For
+continuous monitoring this costs **two** messages per cycle where push
+costs one — the basis of the paper's remark that "push-style permits to
+obtain the same quality of detection with half messages exchanged".  The
+``bench_push_vs_pull`` benchmark quantifies exactly that.
+
+The time-out machinery reuses :class:`~repro.fd.timeout.TimeoutStrategy`,
+applied to round-trip times: the freshness point for reply ``k`` is
+``tau_k = send_time_k + delta_k``, and the monitor suspects while the
+earliest missing reply is overdue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.fd.timeout import TimeoutStrategy
+from repro.neko.layer import Layer
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.net.message import Datagram
+from repro.sim.process import PeriodicTimer, Timer
+
+
+class PullResponder(Layer):
+    """Monitored-side layer answering pull requests.
+
+    Sits above the SimCrash layer, so injected crashes silence it exactly
+    like they silence a heartbeater.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name="PullResponder")
+        self.requests_answered = 0
+
+    def deliver(self, message: Datagram) -> None:
+        if message.kind == "pull-request":
+            self.requests_answered += 1
+            self.send_down(
+                message.reply(
+                    "pull-reply",
+                    seq=message.seq,
+                    timestamp=self.process.local_time(),
+                )
+            )
+            return
+        self.deliver_up(message)
+
+
+class PullFailureDetector(Layer):
+    """Monitor-side layer: periodic requests, time-outs on replies."""
+
+    def __init__(
+        self,
+        strategy: TimeoutStrategy,
+        monitored: str,
+        eta: float,
+        event_log: EventLog,
+        *,
+        detector_id: str = "",
+        initial_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(name=detector_id or f"Pull:{strategy.name}")
+        if eta <= 0:
+            raise ValueError(f"eta must be > 0, got {eta!r}")
+        self.strategy = strategy
+        self.monitored = monitored
+        self.eta = float(eta)
+        self.detector_id = detector_id or f"Pull:{strategy.name}"
+        self._event_log = event_log
+        self._initial_timeout = float(initial_timeout)
+        self._send_times: Dict[int, float] = {}
+        self._max_reply = -1
+        self._suspecting = False
+        self._timer: Optional[Timer] = None
+        self._request_timer: Optional[PeriodicTimer] = None
+        self.requests_sent = 0
+        self.replies_seen = 0
+
+    @property
+    def suspecting(self) -> bool:
+        """Whether the detector currently suspects the monitored process."""
+        return self._suspecting
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_attach(self) -> None:
+        self._timer = self.process.timer(self._expired, name=f"pull:{self.detector_id}", priority=1)
+
+    def on_start(self) -> None:
+        self._request_timer = self.process.periodic_timer(
+            self.eta, self._request, name="pull-request"
+        )
+        self._request_timer.start()
+
+    def stop(self) -> None:
+        """Stop interrogating (end of experiment)."""
+        if self._request_timer is not None:
+            self._request_timer.stop()
+        if self._timer is not None:
+            self._timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Request / reply flow
+    # ------------------------------------------------------------------
+    def _request(self, seq: int) -> None:
+        now = self.process.sim.now
+        self._send_times[seq] = now
+        self.requests_sent += 1
+        self.send_down(
+            Datagram(
+                source=self.process.address,
+                destination=self.monitored,
+                kind="pull-request",
+                seq=seq,
+                timestamp=self.process.local_time(),
+            )
+        )
+        if seq == self._max_reply + 1:
+            # This is the earliest missing reply: its freshness point is
+            # the next deadline.
+            timeout = self.strategy.timeout() if self.replies_seen else self._initial_timeout
+            assert self._timer is not None
+            self._timer.arm_at(now + timeout)
+        # Prune send times that can no longer be referenced.
+        stale_cutoff = seq - 10_000
+        if stale_cutoff in self._send_times:
+            for old in list(self._send_times):
+                if old < stale_cutoff:
+                    del self._send_times[old]
+
+    def deliver(self, message: Datagram) -> None:
+        if message.kind != "pull-reply" or message.source != self.monitored:
+            self.deliver_up(message)
+            return
+        self.replies_seen += 1
+        seq = message.seq
+        if seq is None:
+            raise ValueError(f"pull reply without seq: {message!r}")
+        if seq > self._max_reply:
+            sent_at = self._send_times.get(seq)
+            if sent_at is not None:
+                self.strategy.observe(self.process.sim.now - sent_at)
+            self._max_reply = seq
+            if self._suspecting:
+                self._suspecting = False
+                self._emit(EventKind.END_SUSPECT)
+            self._rearm_for_next_missing()
+        self.deliver_up(message)
+
+    def _rearm_for_next_missing(self) -> None:
+        assert self._timer is not None
+        next_missing = self._max_reply + 1
+        sent_at = self._send_times.get(next_missing)
+        if sent_at is None:
+            self._timer.cancel()  # re-armed when the request goes out
+            return
+        deadline = sent_at + self.strategy.timeout()
+        self._timer.arm_at(max(self.process.sim.now, deadline))
+
+    def _expired(self) -> None:
+        if self._suspecting:
+            return
+        self._suspecting = True
+        self._emit(EventKind.START_SUSPECT)
+
+    def _emit(self, kind: EventKind) -> None:
+        self._event_log.append(
+            StatEvent(
+                time=self.process.sim.now,
+                kind=kind,
+                site=self.process.address,
+                detector=self.detector_id,
+                local_time=self.process.local_time(),
+            )
+        )
+
+
+__all__ = ["PullFailureDetector", "PullResponder"]

@@ -1,0 +1,156 @@
+"""Configuring (eta, delta) jointly from QoS requirements.
+
+Chen, Toueg & Aguilera's NFD methodology — the paper's reference [5] and
+the origin of the "constant time-out computed to obtain a specified QoS"
+detectors the paper contrasts with — takes an application's QoS
+*requirements*
+
+* ``T_D^U``  — an upper bound on detection time,
+* ``T_MR^L`` — a lower bound on time between mistakes,
+* ``T_M^U``  — an upper bound on mistake duration,
+
+plus the probabilistic characterisation of the network, and computes the
+*largest heartbeat period* ``eta`` (fewest messages) and the matching
+time-out ``delta`` that satisfy all three.  This module implements that
+procedure on top of the empirical network model of
+:mod:`repro.fd.analysis`:
+
+* the detection bound fixes the budget: ``eta + delta <= T_D^U``;
+* for a candidate split, the analytic model predicts ``T_MR`` and
+  ``T_M``; both requirements are checked;
+* the search walks ``eta`` downward from the budget (message cost grows
+  as ``eta`` shrinks), choosing for each ``eta`` the largest
+  ``delta = T_D^U − eta`` (maximal mistake protection at no detection
+  cost), and returns the first satisfying configuration — i.e. the
+  cheapest.
+
+Raises :class:`UnsatisfiableRequirements` with a diagnosis when no
+configuration exists (e.g. the loss rate alone forces mistakes more
+often than ``T_MR^L`` allows at any affordable ``eta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.fd.analysis import AnalyticQos, ConstantTimeoutAnalysis
+
+
+class UnsatisfiableRequirements(ValueError):
+    """No (eta, delta) meets the stated QoS requirements on this network."""
+
+
+@dataclass(frozen=True)
+class QosRequirements:
+    """An application's failure-detection QoS contract."""
+
+    detection_time_upper: float        # T_D^U, seconds
+    mistake_recurrence_lower: float    # T_MR^L, seconds
+    mistake_duration_upper: float      # T_M^U, seconds
+
+    def __post_init__(self) -> None:
+        if self.detection_time_upper <= 0:
+            raise ValueError("detection_time_upper must be > 0")
+        if self.mistake_recurrence_lower <= 0:
+            raise ValueError("mistake_recurrence_lower must be > 0")
+        if self.mistake_duration_upper <= 0:
+            raise ValueError("mistake_duration_upper must be > 0")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A satisfying (eta, delta) pair with its predicted QoS."""
+
+    eta: float
+    delta: float
+    predicted: AnalyticQos
+
+    @property
+    def messages_per_second(self) -> float:
+        """Heartbeat cost of the configuration."""
+        return 1.0 / self.eta
+
+
+def configure(
+    delays: Sequence[float],
+    requirements: QosRequirements,
+    *,
+    loss_probability: float = 0.0,
+    eta_candidates: Optional[Sequence[float]] = None,
+    min_eta: float = 0.01,
+) -> Configuration:
+    """Find the cheapest (largest-eta) configuration meeting ``requirements``.
+
+    Parameters
+    ----------
+    delays:
+        Empirical one-way delay sample characterising the network.
+    requirements:
+        The QoS contract.
+    loss_probability:
+        Per-heartbeat loss probability of the path.
+    eta_candidates:
+        Candidate periods to try, largest first.  Default: a geometric
+        grid from the full detection budget down to ``min_eta``.
+    """
+    budget = requirements.detection_time_upper
+    if eta_candidates is None:
+        eta_candidates = _geometric_grid(budget * 0.95, min_eta)
+    tried: List[Configuration] = []
+    best_failure: Optional[str] = None
+
+    for eta in eta_candidates:
+        if eta <= 0 or eta >= budget:
+            continue
+        delta = budget - eta
+        analysis = ConstantTimeoutAnalysis(
+            delays, eta, loss_probability=loss_probability
+        )
+        predicted = analysis.predict(delta)
+        configuration = Configuration(eta=eta, delta=delta, predicted=predicted)
+        tried.append(configuration)
+        if predicted.mistake_recurrence_mean < requirements.mistake_recurrence_lower:
+            best_failure = (
+                f"eta={eta:.3g}: predicted T_MR "
+                f"{predicted.mistake_recurrence_mean:.1f} s < required "
+                f"{requirements.mistake_recurrence_lower:.1f} s"
+            )
+            continue
+        if predicted.mistake_duration_mean > requirements.mistake_duration_upper:
+            best_failure = (
+                f"eta={eta:.3g}: predicted T_M "
+                f"{predicted.mistake_duration_mean * 1e3:.0f} ms > allowed "
+                f"{requirements.mistake_duration_upper * 1e3:.0f} ms"
+            )
+            continue
+        return configuration
+
+    detail = best_failure or "no eta candidate fits inside the detection budget"
+    raise UnsatisfiableRequirements(
+        f"no (eta, delta) satisfies T_D^U={requirements.detection_time_upper}s, "
+        f"T_MR>={requirements.mistake_recurrence_lower}s, "
+        f"T_M<={requirements.mistake_duration_upper}s on this network "
+        f"({detail})"
+    )
+
+
+def _geometric_grid(start: float, stop: float, factor: float = 0.85) -> List[float]:
+    """Geometric grid from ``start`` down to ``stop`` (inclusive-ish)."""
+    if start <= stop:
+        return [start]
+    grid = []
+    value = start
+    while value > stop:
+        grid.append(value)
+        value *= factor
+    grid.append(stop)
+    return grid
+
+
+__all__ = [
+    "Configuration",
+    "QosRequirements",
+    "UnsatisfiableRequirements",
+    "configure",
+]

@@ -1,0 +1,157 @@
+"""The SimCrash layer (paper Section 4): crash injection.
+
+SimCrash sits between the heartbeater and the network on the monitored
+process.  During "crashed" periods it drops every message in both
+directions — the upper layers are isolated from the distributed system and
+appear crashed — and in good periods it does nothing.
+
+Timing parameters match the paper:
+
+* ``MTTC`` — mean time to crash; the time from a restoration to the next
+  crash is uniform in ``[MTTC/2, 3*MTTC/2]``;
+* ``TTR`` — constant time to repair, "chosen long enough to permit every
+  failure detector to detect permanently the process crash".
+
+``CRASH``/``RESTORE`` events go to the event log; ``T_D`` is measured from
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.neko.layer import Layer
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.net.message import Datagram
+
+
+class SimCrash(Layer):
+    """Injects crash/repair cycles by dropping traffic.
+
+    Parameters
+    ----------
+    mttc, ttr:
+        Mean time to crash and (constant) time to repair, seconds.
+    rng:
+        Random generator for the uniform time-to-crash draws.
+    event_log:
+        Where ``CRASH``/``RESTORE`` events are recorded.
+    schedule:
+        Optional explicit list of ``(crash_time, restore_time)`` pairs (in
+        virtual time); when given, ``mttc``/``ttr``/``rng`` are ignored.
+        Used by tests and by deterministic replications.
+    enabled:
+        When ``False``, the layer is transparent (useful for accuracy-only
+        runs that need no crashes).
+    """
+
+    def __init__(
+        self,
+        mttc: float,
+        ttr: float,
+        rng: Optional[np.random.Generator] = None,
+        event_log: Optional[EventLog] = None,
+        *,
+        schedule: Optional[Sequence[Tuple[float, float]]] = None,
+        enabled: bool = True,
+    ) -> None:
+        super().__init__(name="SimCrash")
+        if schedule is None:
+            if mttc <= 0:
+                raise ValueError(f"mttc must be > 0, got {mttc!r}")
+            if ttr < 0:
+                raise ValueError(f"ttr must be >= 0, got {ttr!r}")
+            if rng is None and enabled:
+                raise ValueError("SimCrash needs an rng unless a schedule is given")
+        else:
+            previous_end = -1.0
+            for crash_time, restore_time in schedule:
+                if crash_time < previous_end or restore_time < crash_time:
+                    raise ValueError("schedule must be ordered, non-overlapping pairs")
+                previous_end = restore_time
+        self.mttc = float(mttc)
+        self.ttr = float(ttr)
+        self._rng = rng
+        self._event_log = event_log
+        self._schedule = list(schedule) if schedule is not None else None
+        self._schedule_index = 0
+        self._enabled = bool(enabled)
+        self._crashed = False
+        self.crash_count = 0
+        self.dropped_messages = 0
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the layer is currently simulating a crash."""
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        if not self._enabled:
+            return
+        self._arm_next_crash()
+
+    def _arm_next_crash(self) -> None:
+        if self._schedule is not None:
+            if self._schedule_index >= len(self._schedule):
+                return
+            crash_time, _ = self._schedule[self._schedule_index]
+            self.process.sim.schedule_at(crash_time, self._crash, name="simcrash:crash")
+        else:
+            assert self._rng is not None
+            delay = float(self._rng.uniform(0.5 * self.mttc, 1.5 * self.mttc))
+            self.process.sim.schedule(delay, self._crash, name="simcrash:crash")
+
+    def _crash(self) -> None:
+        self._crashed = True
+        self.crash_count += 1
+        self._emit(EventKind.CRASH)
+        if self._schedule is not None:
+            _, restore_time = self._schedule[self._schedule_index]
+            self._schedule_index += 1
+            self.process.sim.schedule_at(restore_time, self._restore, name="simcrash:restore")
+        else:
+            self.process.sim.schedule(self.ttr, self._restore, name="simcrash:restore")
+
+    def _restore(self) -> None:
+        self._crashed = False
+        self._emit(EventKind.RESTORE)
+        self._arm_next_crash()
+
+    def _emit(self, kind: EventKind) -> None:
+        if self._event_log is not None:
+            self._event_log.append(
+                StatEvent(
+                    time=self.process.sim.now,
+                    kind=kind,
+                    site=self.process.address,
+                    local_time=self.process.local_time(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Message flow: drop everything while crashed
+    # ------------------------------------------------------------------
+    def send(self, message: Datagram) -> None:
+        if self._crashed:
+            self.dropped_messages += 1
+            return
+        self.send_down(message)
+
+    def deliver(self, message: Datagram) -> None:
+        if self._crashed:
+            self.dropped_messages += 1
+            return
+        self.deliver_up(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        return f"SimCrash({state}, crashes={self.crash_count})"
+
+
+__all__ = ["SimCrash"]

@@ -1,0 +1,166 @@
+"""Protocol layers and stacks.
+
+A :class:`Layer` is the unit of protocol composition.  Messages flow in two
+directions:
+
+* :meth:`Layer.send` — invoked by the layer *above*; the default forwards
+  down towards the network.
+* :meth:`Layer.deliver` — invoked by the layer *below*; the default
+  forwards up towards the application.
+
+A :class:`ProtocolStack` wires a list of layers top-to-bottom and connects
+the bottom layer to the process's network access.  Layers that fan out to
+several upper layers (the paper's MultiPlexer) override ``deliver`` and
+manage their own upper list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.net.message import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.neko.process import NekoProcess
+
+
+class Layer:
+    """Base protocol layer.
+
+    Subclasses typically override one or both of :meth:`send` and
+    :meth:`deliver`, and may use the owning process's timers and clock via
+    :attr:`process` (available after the stack is attached).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self._up: Optional["Layer"] = None
+        self._down: Optional["Layer"] = None
+        self._process: Optional["NekoProcess"] = None
+        self._send_down: Optional[Callable[[Datagram], None]] = None
+
+    # ------------------------------------------------------------------
+    # Wiring (called by ProtocolStack / NekoProcess)
+    # ------------------------------------------------------------------
+    @property
+    def process(self) -> "NekoProcess":
+        """The process this layer belongs to (set when the stack attaches)."""
+        if self._process is None:
+            raise RuntimeError(f"layer {self.name!r} is not attached to a process")
+        return self._process
+
+    @property
+    def attached(self) -> bool:
+        """Whether the layer has been attached to a process."""
+        return self._process is not None
+
+    def _attach(self, process: "NekoProcess") -> None:
+        self._process = process
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook invoked once the layer knows its process; override to
+        create timers or inspect configuration.  Default: no-op."""
+
+    def on_start(self) -> None:
+        """Hook invoked when the system starts running; override to begin
+        periodic activity.  Default: no-op."""
+
+    # ------------------------------------------------------------------
+    # Message flow
+    # ------------------------------------------------------------------
+    def send(self, message: Datagram) -> None:
+        """Handle a message travelling down; default forwards below."""
+        self.send_down(message)
+
+    def deliver(self, message: Datagram) -> None:
+        """Handle a message travelling up; default forwards above."""
+        self.deliver_up(message)
+
+    def send_down(self, message: Datagram) -> None:
+        """Forward ``message`` to the layer below (or the network)."""
+        if self._down is not None:
+            self._down.send(message)
+        elif self._send_down is not None:
+            self._send_down(message)
+        else:
+            raise RuntimeError(
+                f"layer {self.name!r} has nothing below to send to; "
+                "is the stack attached to a process?"
+            )
+
+    def deliver_up(self, message: Datagram) -> None:
+        """Forward ``message`` to the layer above; dropped silently if this
+        is the top layer (matching Neko, where an application layer simply
+        consumes what it cares about)."""
+        if self._up is not None:
+            self._up.deliver(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ProtocolStack:
+    """An ordered stack of layers, listed top (application) first.
+
+    The stack wires each layer's ``up``/``down`` neighbours.  The bottom
+    layer's ``send_down`` goes to the network sender supplied by the
+    process at attach time; datagrams arriving from the network enter at
+    the bottom via :meth:`deliver_from_network`.
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("a protocol stack needs at least one layer")
+        self._layers: List[Layer] = list(layers)
+        for upper, lower in zip(self._layers, self._layers[1:]):
+            upper._down = lower
+            lower._up = upper
+
+    @property
+    def layers(self) -> List[Layer]:
+        """The layers, top first."""
+        return list(self._layers)
+
+    @property
+    def top(self) -> Layer:
+        """The application-most layer."""
+        return self._layers[0]
+
+    @property
+    def bottom(self) -> Layer:
+        """The network-most layer."""
+        return self._layers[-1]
+
+    def find(self, layer_type: type) -> Layer:
+        """Return the first layer of the given type; raises if absent."""
+        for layer in self._layers:
+            if isinstance(layer, layer_type):
+                return layer
+        raise LookupError(f"no layer of type {layer_type.__name__} in stack")
+
+    def attach(
+        self,
+        process: "NekoProcess",
+        send_to_network: Callable[[Datagram], None],
+    ) -> None:
+        """Bind every layer to ``process`` and the bottom to the network."""
+        for layer in self._layers:
+            layer._attach(process)
+        self.bottom._send_down = send_to_network
+
+    def start(self) -> None:
+        """Invoke ``on_start`` bottom-up (substrates before applications)."""
+        for layer in reversed(self._layers):
+            layer.on_start()
+
+    def deliver_from_network(self, message: Datagram) -> None:
+        """Entry point for datagrams arriving from the network."""
+        self.bottom.deliver(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = " / ".join(layer.name for layer in self._layers)
+        return f"ProtocolStack({names})"
+
+
+__all__ = ["Layer", "ProtocolStack"]

@@ -1,0 +1,198 @@
+"""The Neko system: processes wired onto a network backend.
+
+The backend abstraction is what delivers Neko's "same code, simulated or
+real network" promise: :class:`SimulatedNetwork` routes datagrams over
+:class:`~repro.net.link.FairLossyLink` instances on the discrete-event
+engine, while :class:`repro.net.udp.UdpNetwork` routes them over real
+sockets.  Application layers cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.clocks.clock import Clock
+from repro.neko.layer import ProtocolStack
+from repro.neko.process import NekoProcess
+from repro.net.delay import DelayModel
+from repro.net.link import FairLossyLink
+from repro.net.loss import LossModel
+from repro.net.message import Datagram
+from repro.net.wan import WanProfile
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+class NetworkBackend(abc.ABC):
+    """Routes datagrams between registered process addresses."""
+
+    @abc.abstractmethod
+    def register(self, address: str, receiver: Callable[[Datagram], None]) -> None:
+        """Register a delivery callback for ``address``."""
+
+    @abc.abstractmethod
+    def send(self, message: Datagram) -> None:
+        """Route ``message`` towards its destination."""
+
+
+class SimulatedNetwork(NetworkBackend):
+    """A mesh of fair-lossy links over the simulation engine.
+
+    Links are configured per ordered (source, destination) pair with
+    :meth:`set_link` or, more conveniently, :meth:`set_link_profile`.
+    A pair with no configured link gets a zero-delay lossless default,
+    which keeps unit tests terse.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._receivers: Dict[str, Callable[[Datagram], None]] = {}
+        self._links: Dict[Tuple[str, str], FairLossyLink] = {}
+        self._default_factory: Optional[Callable[[], FairLossyLink]] = None
+
+    def register(self, address: str, receiver: Callable[[Datagram], None]) -> None:
+        if address in self._receivers:
+            raise ValueError(f"address {address!r} already registered")
+        self._receivers[address] = receiver
+
+    def set_link(
+        self,
+        source: str,
+        destination: str,
+        delay_model: DelayModel,
+        loss_model: Optional[LossModel] = None,
+        *,
+        fifo: bool = False,
+        record_delays: bool = True,
+    ) -> FairLossyLink:
+        """Install (and return) the link used for source→destination."""
+        link = FairLossyLink(
+            self._sim,
+            delay_model,
+            loss_model,
+            fifo=fifo,
+            record_delays=record_delays,
+        )
+        link.connect(lambda message: self._deliver(message))
+        self._links[(source, destination)] = link
+        return link
+
+    def set_link_profile(
+        self,
+        source: str,
+        destination: str,
+        profile: WanProfile,
+        streams: RandomStreams,
+        **link_kwargs,
+    ) -> FairLossyLink:
+        """Install a link built from a :class:`WanProfile`.
+
+        The random streams are named by direction, so the forward and
+        reverse paths of a bidirectional connection are independent.
+        """
+        direction = f"{source}->{destination}"
+        return self.set_link(
+            source,
+            destination,
+            profile.build_delay_model(streams, direction),
+            profile.build_loss_model(streams, direction),
+            **link_kwargs,
+        )
+
+    def link(self, source: str, destination: str) -> FairLossyLink:
+        """Return the installed link for the ordered pair; raises if none."""
+        try:
+            return self._links[(source, destination)]
+        except KeyError:
+            raise LookupError(f"no link configured for {source!r} -> {destination!r}") from None
+
+    def send(self, message: Datagram) -> None:
+        key = (message.source, message.destination)
+        link = self._links.get(key)
+        if link is None:
+            from repro.net.delay import ConstantDelay
+
+            link = self.set_link(message.source, message.destination, ConstantDelay(0.0))
+        link.send(message)
+
+    def _deliver(self, message: Datagram) -> None:
+        receiver = self._receivers.get(message.destination)
+        if receiver is not None:
+            receiver(message)
+        # Datagrams for unknown destinations vanish: fair-lossy semantics
+        # allow it and it matches UDP (no ICMP feedback modelled).
+
+
+class NekoSystem:
+    """Creates processes, wires them to a network backend and runs them.
+
+    Typical simulated use::
+
+        sim = Simulator()
+        system = NekoSystem(sim)
+        system.network.set_link("p", "q", delay_model, loss_model)
+        p = system.create_process("p", ProtocolStack([...]))
+        q = system.create_process("q", ProtocolStack([...]))
+        system.start()
+        sim.run(until=3600.0)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Optional[NetworkBackend] = None,
+    ) -> None:
+        self._sim = sim
+        self._network = network if network is not None else SimulatedNetwork(sim)
+        self._processes: Dict[str, NekoProcess] = {}
+        self._started = False
+
+    @property
+    def sim(self) -> Simulator:
+        """The scheduling engine shared by all processes."""
+        return self._sim
+
+    @property
+    def network(self) -> NetworkBackend:
+        """The network backend routing datagrams between processes."""
+        return self._network
+
+    @property
+    def processes(self) -> Dict[str, NekoProcess]:
+        """All processes by address."""
+        return dict(self._processes)
+
+    def create_process(
+        self,
+        address: str,
+        stack: ProtocolStack,
+        *,
+        clock: Optional[Clock] = None,
+    ) -> NekoProcess:
+        """Create a process, register it with the network, return it."""
+        if address in self._processes:
+            raise ValueError(f"process address {address!r} already in use")
+        process = NekoProcess(self, address, stack, clock=clock)
+        self._network.register(address, process.receive_from_network)
+        self._processes[address] = process
+        return process
+
+    def start(self) -> None:
+        """Start every process's stack (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for process in self._processes.values():
+            process.start()
+
+    def run(self, until: float) -> None:
+        """Start (if needed) and run the simulation to virtual time ``until``."""
+        self.start()
+        self._sim.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NekoSystem(processes={sorted(self._processes)})"
+
+
+__all__ = ["NekoSystem", "NetworkBackend", "SimulatedNetwork"]

@@ -1,0 +1,79 @@
+"""Typed distributed events.
+
+Every quantity the paper reports is derived from six event kinds (its
+Figure 3): heartbeat ``SENT``/``RECEIVED``, detector ``START_SUSPECT``/
+``END_SUSPECT``, and injected ``CRASH``/``RESTORE``.
+
+An event records the *global* simulation time (the paper's synchronised-
+clock assumption makes local ≈ global; when clock error is enabled, the
+emitting site additionally records its local reading in ``local_time`` so
+the synchronisation error is measurable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class EventKind(enum.Enum):
+    """The event vocabulary of the experimental architecture."""
+
+    SENT = "sent"
+    RECEIVED = "received"
+    START_SUSPECT = "start_suspect"
+    END_SUSPECT = "end_suspect"
+    CRASH = "crash"
+    RESTORE = "restore"
+
+
+@dataclass(frozen=True)
+class StatEvent:
+    """One distributed event.
+
+    Attributes
+    ----------
+    time:
+        Global (simulator) time of the event, seconds.
+    kind:
+        The :class:`EventKind`.
+    site:
+        Address of the process where the event happened.
+    detector:
+        Identifier of the failure-detector combination that emitted a
+        ``START_SUSPECT``/``END_SUSPECT``; ``None`` for other kinds.
+    seq:
+        Heartbeat sequence number for ``SENT``/``RECEIVED``.
+    local_time:
+        The emitting site's local clock reading, if it differs from
+        global time.
+    data:
+        Free-form extras (e.g. the time-out value in force).
+    """
+
+    time: float
+    kind: EventKind
+    site: str
+    detector: Optional[str] = None
+    seq: Optional[int] = None
+    local_time: Optional[float] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind in (EventKind.START_SUSPECT, EventKind.END_SUSPECT):
+            if self.detector is None:
+                raise ValueError(f"{self.kind.value} events must carry a detector id")
+        if self.kind in (EventKind.SENT, EventKind.RECEIVED) and self.seq is None:
+            raise ValueError(f"{self.kind.value} events must carry a sequence number")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"t={self.time:.6f}", self.kind.value, self.site]
+        if self.detector is not None:
+            parts.append(f"fd={self.detector}")
+        if self.seq is not None:
+            parts.append(f"seq={self.seq}")
+        return f"StatEvent({', '.join(parts)})"
+
+
+__all__ = ["EventKind", "StatEvent"]

@@ -1,0 +1,88 @@
+"""Stat handlers: the bridge from events to quantities.
+
+NekoStat asks the experimenter to provide a ``StatHandler`` that translates
+distributed events into the quantities of interest.  The reproduction keeps
+that shape: :class:`StatHandler` is the protocol, :class:`FDStatHandler` is
+the paper's ``FD_StatHandler`` — it watches ``Sent``/``Received``/
+``StartSuspect``/``EndSuspect``/``Crash``/``Restore`` events and produces
+the per-detector QoS of :mod:`repro.nekostat.metrics`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.metrics import DetectorQos, extract_qos
+
+
+class StatHandler(abc.ABC):
+    """Translates distributed events into quantities of interest."""
+
+    @abc.abstractmethod
+    def handle(self, event: StatEvent) -> None:
+        """Observe one event as it happens (online path)."""
+
+    @abc.abstractmethod
+    def results(self) -> Dict[str, object]:
+        """The quantities computed so far."""
+
+
+class FDStatHandler(StatHandler):
+    """Computes failure-detector QoS from the experiment's event stream.
+
+    The handler keeps lightweight online counters (heartbeats sent,
+    received, losses observed) and defers the interval algebra of
+    ``T_D``/``T_M``/``T_MR`` to :func:`repro.nekostat.metrics.extract_qos`
+    over the full log at :meth:`qos` time — the offline path NekoStat uses
+    for real executions ("at the termination of a real distributed
+    execution").
+    """
+
+    def __init__(self, log: EventLog, *, subscribe: bool = True) -> None:
+        self._log = log
+        self.heartbeats_sent = 0
+        self.heartbeats_received = 0
+        self.crashes = 0
+        self.suspect_transitions = 0
+        if subscribe:
+            log.subscribe(self.handle)
+
+    @property
+    def log(self) -> EventLog:
+        """The underlying event log."""
+        return self._log
+
+    def handle(self, event: StatEvent) -> None:
+        if event.kind is EventKind.SENT:
+            self.heartbeats_sent += 1
+        elif event.kind is EventKind.RECEIVED:
+            self.heartbeats_received += 1
+        elif event.kind is EventKind.CRASH:
+            self.crashes += 1
+        elif event.kind in (EventKind.START_SUSPECT, EventKind.END_SUSPECT):
+            self.suspect_transitions += 1
+
+    def qos(
+        self,
+        *,
+        end_time: Optional[float] = None,
+        detectors: Optional[Sequence[str]] = None,
+    ) -> Dict[str, DetectorQos]:
+        """Extract per-detector QoS from the accumulated log."""
+        return extract_qos(self._log, end_time=end_time, detectors=detectors)
+
+    def results(self) -> Dict[str, object]:
+        """Online counters plus the per-detector QoS."""
+        return {
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_received": self.heartbeats_received,
+            "crashes": self.crashes,
+            "suspect_transitions": self.suspect_transitions,
+            "qos": self.qos(),
+        }
+
+
+__all__ = ["FDStatHandler", "StatHandler"]

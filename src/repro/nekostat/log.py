@@ -1,0 +1,106 @@
+"""The event log: collection and querying of :class:`StatEvent` records."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.nekostat.events import EventKind, StatEvent
+
+
+class EventLog:
+    """An append-only, time-ordered log of distributed events.
+
+    Events must be appended in non-decreasing time order (which the
+    simulation engine guarantees, since every emitter appends at its own
+    event's instant).  Querying never mutates the log.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[StatEvent] = []
+        self._subscribers: List[Callable[[StatEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def append(self, event: StatEvent) -> None:
+        """Append one event; raises if it would break time ordering."""
+        if self._events and event.time < self._events[-1].time:
+            raise ValueError(
+                f"event at t={event.time:.9f} appended after t="
+                f"{self._events[-1].time:.9f}; log must be time-ordered"
+            )
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[StatEvent], None]) -> None:
+        """Register a live-event callback (used by online handlers)."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[StatEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def filter(
+        self,
+        *,
+        kind: Optional[EventKind] = None,
+        site: Optional[str] = None,
+        detector: Optional[str] = None,
+    ) -> List[StatEvent]:
+        """Return events matching every given criterion, in time order."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if site is not None and event.site != site:
+                continue
+            if detector is not None and event.detector != detector:
+                continue
+            result.append(event)
+        return result
+
+    def detectors(self) -> List[str]:
+        """All detector identifiers that emitted suspect events, sorted."""
+        names = {
+            event.detector
+            for event in self._events
+            if event.detector is not None
+        }
+        return sorted(names)
+
+    def crash_intervals(self, *, end_time: Optional[float] = None) -> List[tuple]:
+        """Pairs ``(crash_time, restore_time)`` in time order.
+
+        A final crash with no restore is closed at ``end_time`` (or the
+        last event's time).
+        """
+        intervals = []
+        open_crash: Optional[float] = None
+        for event in self._events:
+            if event.kind is EventKind.CRASH:
+                if open_crash is not None:
+                    raise ValueError("CRASH event while already crashed")
+                open_crash = event.time
+            elif event.kind is EventKind.RESTORE:
+                if open_crash is None:
+                    raise ValueError("RESTORE event without preceding CRASH")
+                intervals.append((open_crash, event.time))
+                open_crash = None
+        if open_crash is not None:
+            close = end_time if end_time is not None else (
+                self._events[-1].time if self._events else open_crash
+            )
+            intervals.append((open_crash, max(open_crash, close)))
+        return intervals
+
+
+__all__ = ["EventLog"]

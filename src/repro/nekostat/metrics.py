@@ -1,0 +1,281 @@
+"""QoS metric extraction: from events to T_D, T_M, T_MR, P_A.
+
+Definitions follow Chen, Toueg & Aguilera (DSN 2000), as used by the paper
+(its Figure 1):
+
+* **T_D, detection time** — for each crash, the interval from the crash to
+  the start of the *permanent* suspicion: the suspicion that persists until
+  the process is restored.  A suspicion raised during the crash but
+  corrected before restoration (a stale in-flight heartbeat arrived) is not
+  permanent.  If the detector was already suspecting when the crash
+  happened and that suspicion persisted, the detection was effectively
+  immediate and ``T_D = 0``.
+* **T_M, mistake duration** — the length of each *mistake*: a maximal
+  suspicion interval that starts while the monitored process is up and is
+  not the permanent detection of a crash.
+* **T_MR, mistake recurrence time** — the interval between the starts of
+  successive mistakes.
+* **T_D^U** — the largest observed detection time.
+* **P_A, query accuracy probability** — ``(T_MR − T_M) / T_MR`` on the
+  mean values; equals the probability that the detector's output is
+  correct at a random instant while the process is up.
+
+All computation is done on the event log alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.stats import SummaryStats, summarize
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MistakeInterval:
+    """One mistake: an erroneous suspicion and its correction."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """The mistake duration ``T_M`` contribution, seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class DetectorQos:
+    """The QoS samples extracted for one failure-detector combination."""
+
+    detector: str
+    td_samples: List[float] = field(default_factory=list)
+    undetected_crashes: int = 0
+    mistakes: List[MistakeInterval] = field(default_factory=list)
+    tmr_samples: List[float] = field(default_factory=list)
+    observation_time: float = 0.0
+    up_time: float = 0.0
+    suspected_up_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived metrics (seconds)
+    # ------------------------------------------------------------------
+    @property
+    def t_d(self) -> Optional[SummaryStats]:
+        """Summary of detection times, or ``None`` if no crash detected."""
+        if not self.td_samples:
+            return None
+        return summarize(self.td_samples)
+
+    @property
+    def t_d_upper(self) -> Optional[float]:
+        """``T_D^U``: the maximum observed detection time."""
+        if not self.td_samples:
+            return None
+        return max(self.td_samples)
+
+    @property
+    def t_m(self) -> Optional[SummaryStats]:
+        """Summary of mistake durations, or ``None`` if mistake-free."""
+        if not self.mistakes:
+            return None
+        return summarize([mistake.duration for mistake in self.mistakes])
+
+    @property
+    def t_mr(self) -> Optional[SummaryStats]:
+        """Summary of mistake recurrence times.
+
+        Needs at least two mistakes; with exactly one, the recurrence time
+        is estimated as the whole up-time (a single mistake in the run
+        means recurrences are at least that long).
+        """
+        if self.tmr_samples:
+            return summarize(self.tmr_samples)
+        if self.mistakes and self.up_time > 0:
+            return summarize([self.up_time])
+        return None
+
+    @property
+    def p_a(self) -> float:
+        """Query accuracy probability from mean ``T_MR`` and ``T_M``.
+
+        A mistake-free run yields 1.0.
+        """
+        t_m = self.t_m
+        t_mr = self.t_mr
+        if t_m is None or t_mr is None:
+            return 1.0
+        if t_mr.mean <= 0:
+            return 0.0
+        return max(0.0, (t_mr.mean - t_m.mean) / t_mr.mean)
+
+    @property
+    def empirical_p_a(self) -> float:
+        """Fraction of up-time during which the detector trusted the
+        process — a direct estimate of availability, reported alongside
+        the paper's ratio-of-means ``P_A``."""
+        if self.up_time <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.suspected_up_time / self.up_time)
+
+    @property
+    def mistake_rate(self) -> float:
+        """Mistakes per second of up-time."""
+        if self.up_time <= 0:
+            return 0.0
+        return len(self.mistakes) / self.up_time
+
+
+def _suspicion_intervals(
+    events: Sequence[StatEvent], detector: str, end_time: float
+) -> List[Tuple[float, float]]:
+    """Maximal [start, end) suspicion intervals for one detector."""
+    intervals: List[Tuple[float, float]] = []
+    open_start: Optional[float] = None
+    for event in events:
+        if event.detector != detector:
+            continue
+        if event.kind is EventKind.START_SUSPECT:
+            if open_start is not None:
+                raise ValueError(
+                    f"detector {detector!r}: StartSuspect while already suspecting "
+                    f"at t={event.time:.6f}"
+                )
+            open_start = event.time
+        elif event.kind is EventKind.END_SUSPECT:
+            if open_start is None:
+                raise ValueError(
+                    f"detector {detector!r}: EndSuspect without StartSuspect "
+                    f"at t={event.time:.6f}"
+                )
+            intervals.append((open_start, event.time))
+            open_start = None
+    if open_start is not None:
+        intervals.append((open_start, max(open_start, end_time)))
+    return intervals
+
+
+def _is_up_at(t: float, crashes: Sequence[Tuple[float, float]]) -> bool:
+    """Whether the monitored process is up at instant ``t``."""
+    for crash_start, crash_end in crashes:
+        if crash_start - _EPS <= t < crash_end - _EPS:
+            return False
+    return True
+
+
+def _overlap(
+    interval: Tuple[float, float], window: Tuple[float, float]
+) -> float:
+    """Length of the intersection of two [start, end) intervals."""
+    start = max(interval[0], window[0])
+    end = min(interval[1], window[1])
+    return max(0.0, end - start)
+
+
+def extract_qos(
+    log: EventLog,
+    *,
+    end_time: Optional[float] = None,
+    detectors: Optional[Sequence[str]] = None,
+) -> Dict[str, DetectorQos]:
+    """Compute per-detector QoS from an event log.
+
+    Parameters
+    ----------
+    log:
+        The event log of a completed run.
+    end_time:
+        The virtual time the run ended at; open suspicion/crash intervals
+        are closed there.  Defaults to the last event's time.
+    detectors:
+        Restrict to these detector ids (default: all that appear).
+    """
+    if end_time is None:
+        end_time = log[-1].time if len(log) else 0.0
+    crashes = log.crash_intervals(end_time=end_time)
+    crashed_time = sum(end - start for start, end in crashes)
+    up_windows = _up_windows(crashes, end_time)
+    detector_ids = list(detectors) if detectors is not None else log.detectors()
+    events = list(log)
+
+    results: Dict[str, DetectorQos] = {}
+    for detector in detector_ids:
+        qos = DetectorQos(
+            detector=detector,
+            observation_time=end_time,
+            up_time=max(0.0, end_time - crashed_time),
+        )
+        intervals = _suspicion_intervals(events, detector, end_time)
+        permanent: set = set()
+
+        # --- detection times -------------------------------------------
+        for crash_start, crash_end in crashes:
+            detection: Optional[Tuple[float, float]] = None
+            for index, (s, e) in enumerate(intervals):
+                if e < crash_start:
+                    continue
+                if s >= crash_end - _EPS:
+                    break
+                if e >= crash_end - _EPS:
+                    detection = (s, e)
+                    permanent.add(index)
+                    break
+            if detection is None:
+                qos.undetected_crashes += 1
+            else:
+                qos.td_samples.append(max(0.0, detection[0] - crash_start))
+
+        # --- mistakes ----------------------------------------------------
+        for index, (s, e) in enumerate(intervals):
+            if index in permanent:
+                continue
+            if _is_up_at(s, crashes):
+                qos.mistakes.append(MistakeInterval(start=s, end=e))
+
+        # --- recurrence --------------------------------------------------
+        starts = [mistake.start for mistake in qos.mistakes]
+        qos.tmr_samples = [b - a for a, b in zip(starts, starts[1:])]
+
+        # --- availability ------------------------------------------------
+        # Two-pointer sweep over the two sorted interval lists: O(n + m)
+        # rather than O(n * m) — on a 100 000-cycle run with thousands of
+        # mistakes and hundreds of crash windows the difference is the
+        # bulk of the extraction time.
+        suspected_up = 0.0
+        window_index = 0
+        for s, e in intervals:
+            while (
+                window_index < len(up_windows)
+                and up_windows[window_index][1] <= s
+            ):
+                window_index += 1
+            k = window_index
+            while k < len(up_windows) and up_windows[k][0] < e:
+                suspected_up += _overlap((s, e), up_windows[k])
+                k += 1
+        qos.suspected_up_time = suspected_up
+
+        results[detector] = qos
+    return results
+
+
+def _up_windows(
+    crashes: Sequence[Tuple[float, float]], end_time: float
+) -> List[Tuple[float, float]]:
+    """The complement of the crash intervals within [0, end_time)."""
+    windows: List[Tuple[float, float]] = []
+    cursor = 0.0
+    for crash_start, crash_end in crashes:
+        if crash_start > cursor:
+            windows.append((cursor, min(crash_start, end_time)))
+        cursor = max(cursor, crash_end)
+    if cursor < end_time:
+        windows.append((cursor, end_time))
+    return windows
+
+
+__all__ = ["DetectorQos", "MistakeInterval", "extract_qos"]

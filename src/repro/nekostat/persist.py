@@ -1,0 +1,123 @@
+"""Event-log persistence (JSON Lines).
+
+NekoStat collects events during real executions and analyses them "at the
+termination of a real distributed execution" — which requires the event
+stream to survive the run.  This module serialises an
+:class:`~repro.nekostat.log.EventLog` to JSON Lines (one event per line,
+append-friendly, greppable) and back, so QoS extraction can run offline,
+on another machine, or long after the experiment.
+
+Round-trip fidelity is exact for every field the metrics consume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, TextIO, Union
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+
+
+def event_to_json(event: StatEvent) -> str:
+    """One event as a compact JSON line (no trailing newline)."""
+    payload = {"t": event.time, "k": event.kind.value, "s": event.site}
+    if event.detector is not None:
+        payload["d"] = event.detector
+    if event.seq is not None:
+        payload["q"] = event.seq
+    if event.local_time is not None:
+        payload["l"] = event.local_time
+    if event.data:
+        payload["x"] = event.data
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def event_from_json(line: str) -> StatEvent:
+    """Parse one JSON line back into a :class:`StatEvent`."""
+    payload = json.loads(line)
+    return StatEvent(
+        time=float(payload["t"]),
+        kind=EventKind(payload["k"]),
+        site=payload["s"],
+        detector=payload.get("d"),
+        seq=payload.get("q"),
+        local_time=payload.get("l"),
+        data=payload.get("x", {}),
+    )
+
+
+def save_event_log(log: EventLog, path: Union[str, Path]) -> int:
+    """Write every event to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in log:
+            handle.write(event_to_json(event))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[StatEvent]:
+    """Stream events from a JSONL file without loading them all."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                yield event_from_json(text)
+            except (ValueError, KeyError) as exc:
+                raise ValueError(f"{path}:{line_number}: bad event line") from exc
+
+
+def load_event_log(path: Union[str, Path]) -> EventLog:
+    """Load a complete event log from a JSONL file."""
+    log = EventLog()
+    for event in iter_events(path):
+        log.append(event)
+    return log
+
+
+class StreamingEventWriter:
+    """Writes events to a file as they happen (live subscription).
+
+    For long real-network executions the in-memory log can be replaced
+    entirely: subscribe the writer, drop the log reference, and rebuild
+    offline with :func:`load_event_log`.  Use as a context manager to
+    guarantee the file is flushed and closed.
+    """
+
+    def __init__(self, log: EventLog, path: Union[str, Path]) -> None:
+        self._handle: TextIO = open(path, "w", encoding="utf-8")
+        self.written = 0
+        log.subscribe(self._write)
+
+    def _write(self, event: StatEvent) -> None:
+        if self._handle.closed:
+            return
+        self._handle.write(event_to_json(event))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the output file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "StreamingEventWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "StreamingEventWriter",
+    "event_from_json",
+    "event_to_json",
+    "iter_events",
+    "load_event_log",
+    "save_event_log",
+]

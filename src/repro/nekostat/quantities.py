@@ -1,0 +1,176 @@
+"""Generic quantities-of-interest, NekoStat style.
+
+NekoStat's design lets the experimenter declare *quantities* derived from
+distributed events without touching protocol code: "the quantities of
+interest can be specified by the user defining how to obtain the
+interesting measure from the events".  The failure-detector metrics of
+:mod:`repro.nekostat.metrics` are one hard-coded instance; this module
+provides the general mechanism, used by applications (e.g. consensus
+latency = interval between a ``propose`` marker and a ``decide`` marker)
+and by ad-hoc experiment instrumentation.
+
+Three quantity shapes cover the usual needs:
+
+* :class:`CounterQuantity` — counts matching events;
+* :class:`IntervalQuantity` — accumulates durations between a *start*
+  event and the next matching *end* event (pairs by an optional key);
+* :class:`SeriesQuantity` — extracts one numeric value per matching
+  event (e.g. a time-out carried in ``event.data``).
+
+A :class:`QuantitySet` attaches any number of them to an event log and
+summarises them with the standard statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.nekostat.events import StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.stats import SummaryStats, summarize
+
+EventPredicate = Callable[[StatEvent], bool]
+
+
+class Quantity:
+    """Base class: a named consumer of events producing samples."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("quantity name must be non-empty")
+        self.name = name
+
+    def observe(self, event: StatEvent) -> None:
+        """Feed one event (override)."""
+        raise NotImplementedError
+
+    def samples(self) -> List[float]:
+        """The numeric samples collected so far (override)."""
+        raise NotImplementedError
+
+    def summary(self) -> Optional[SummaryStats]:
+        """Summary statistics of the samples (None when empty)."""
+        collected = self.samples()
+        return summarize(collected) if collected else None
+
+
+class CounterQuantity(Quantity):
+    """Counts events matching a predicate."""
+
+    def __init__(self, name: str, matches: EventPredicate) -> None:
+        super().__init__(name)
+        self._matches = matches
+        self.count = 0
+
+    def observe(self, event: StatEvent) -> None:
+        if self._matches(event):
+            self.count += 1
+
+    def samples(self) -> List[float]:
+        return [float(self.count)]
+
+
+class SeriesQuantity(Quantity):
+    """Extracts one numeric value from every matching event.
+
+    ``extract`` returns the value, or ``None`` to skip the event.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        extract: Callable[[StatEvent], Optional[float]],
+    ) -> None:
+        super().__init__(name)
+        self._extract = extract
+        self._values: List[float] = []
+
+    def observe(self, event: StatEvent) -> None:
+        value = self._extract(event)
+        if value is not None:
+            self._values.append(float(value))
+
+    def samples(self) -> List[float]:
+        return list(self._values)
+
+
+class IntervalQuantity(Quantity):
+    """Measures durations between paired start and end events.
+
+    ``key`` groups concurrent intervals (e.g. per detector, per consensus
+    instance); an end event closes the open interval with the same key.
+    Unmatched end events are ignored; re-opened keys restart the clock.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        starts: EventPredicate,
+        ends: EventPredicate,
+        *,
+        key: Callable[[StatEvent], Hashable] = lambda event: None,
+    ) -> None:
+        super().__init__(name)
+        self._starts = starts
+        self._ends = ends
+        self._key = key
+        self._open: Dict[Hashable, float] = {}
+        self._durations: List[float] = []
+
+    def observe(self, event: StatEvent) -> None:
+        if self._starts(event):
+            self._open[self._key(event)] = event.time
+        elif self._ends(event):
+            start = self._open.pop(self._key(event), None)
+            if start is not None:
+                self._durations.append(event.time - start)
+
+    def samples(self) -> List[float]:
+        return list(self._durations)
+
+    @property
+    def open_intervals(self) -> int:
+        """Intervals started but not yet ended."""
+        return len(self._open)
+
+
+class QuantitySet:
+    """A bundle of quantities attached to one event log."""
+
+    def __init__(self, log: EventLog) -> None:
+        self._log = log
+        self._quantities: Dict[str, Quantity] = {}
+        log.subscribe(self._dispatch)
+
+    def add(self, quantity: Quantity) -> Quantity:
+        """Register a quantity; returns it for chaining."""
+        if quantity.name in self._quantities:
+            raise ValueError(f"duplicate quantity name {quantity.name!r}")
+        self._quantities[quantity.name] = quantity
+        return quantity
+
+    def __getitem__(self, name: str) -> Quantity:
+        return self._quantities[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._quantities
+
+    def _dispatch(self, event: StatEvent) -> None:
+        for quantity in self._quantities.values():
+            quantity.observe(event)
+
+    def report(self) -> Dict[str, Optional[SummaryStats]]:
+        """Summaries of every quantity, by name."""
+        return {
+            name: quantity.summary()
+            for name, quantity in self._quantities.items()
+        }
+
+
+__all__ = [
+    "CounterQuantity",
+    "IntervalQuantity",
+    "Quantity",
+    "QuantitySet",
+    "SeriesQuantity",
+]

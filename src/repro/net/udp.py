@@ -1,0 +1,276 @@
+"""Real-network backend: UDP sockets plus a wall-clock scheduler.
+
+This module delivers the Neko promise for *real* executions: the same
+protocol stacks that run on the discrete-event simulator run here over
+actual UDP datagrams.  Two pieces are needed:
+
+* :class:`WallClockScheduler` — an object with the scheduling surface of
+  :class:`repro.sim.engine.Simulator` (``now``, ``schedule``,
+  ``schedule_at``) implemented with ``threading.Timer`` over the monotonic
+  clock, so layer code is oblivious to which world it is in;
+* :class:`UdpNetwork` — a :class:`~repro.neko.system.NetworkBackend` that
+  maps process addresses to local UDP ports and serialises datagrams as
+  JSON.
+
+A single dispatch lock serialises all upcalls (timer expiries and datagram
+deliveries), so layers keep the single-threaded discipline they enjoy in
+simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.net.message import Datagram
+
+
+class _TimerHandle:
+    """Cancellable handle mirroring :class:`repro.sim.engine.EventHandle`."""
+
+    def __init__(self, timer: threading.Timer, when: float, name: str) -> None:
+        self._timer = timer
+        self._when = when
+        self._name = name
+        self._cancelled = False
+
+    @property
+    def time(self) -> float:
+        """The wall-clock-relative time the callback fires at."""
+        return self._when
+
+    @property
+    def name(self) -> str:
+        """Diagnostic name supplied at scheduling time."""
+        return self._name
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Best-effort cancellation (idempotent)."""
+        self._cancelled = True
+        self._timer.cancel()
+
+
+class WallClockScheduler:
+    """Wall-clock drop-in for the simulator's scheduling surface.
+
+    ``now`` is seconds since construction, measured on the monotonic
+    clock.  Callbacks run under a shared dispatch lock.
+    """
+
+    def __init__(self, dispatch_lock: Optional[threading.Lock] = None) -> None:
+        self._t0 = time.monotonic()
+        self._lock = dispatch_lock if dispatch_lock is not None else threading.Lock()
+
+    @property
+    def dispatch_lock(self) -> threading.Lock:
+        """The lock under which all callbacks are dispatched."""
+        return self._lock
+
+    @property
+    def now(self) -> float:
+        """Seconds elapsed since this scheduler was created."""
+        return time.monotonic() - self._t0
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> _TimerHandle:
+        """Run ``callback`` after ``delay`` wall-clock seconds."""
+        if delay < 0:
+            delay = 0.0
+        handle_box: list = []
+
+        def guarded() -> None:
+            handle = handle_box[0]
+            if handle.cancelled:
+                return
+            with self._lock:
+                if not handle.cancelled:
+                    callback()
+
+        timer = threading.Timer(delay, guarded)
+        timer.daemon = True
+        handle = _TimerHandle(timer, self.now + delay, name)
+        handle_box.append(handle)
+        timer.start()
+        return handle
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> _TimerHandle:
+        """Run ``callback`` at scheduler time ``when``."""
+        return self.schedule(when - self.now, callback, priority=priority, name=name)
+
+    def run(self, until: float) -> None:
+        """Sleep (wall clock) until scheduler time ``until``."""
+        remaining = until - self.now
+        if remaining > 0:
+            time.sleep(remaining)
+
+
+def _encode(message: Datagram) -> bytes:
+    payload = {
+        "source": message.source,
+        "destination": message.destination,
+        "kind": message.kind,
+        "payload": message.payload,
+        "seq": message.seq,
+        "timestamp": message.timestamp,
+        "uid": message.uid,
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def _decode(raw: bytes) -> Datagram:
+    data = json.loads(raw.decode("utf-8"))
+    return Datagram(
+        source=data["source"],
+        destination=data["destination"],
+        kind=data["kind"],
+        payload=data.get("payload"),
+        seq=data.get("seq"),
+        timestamp=data.get("timestamp"),
+        uid=data.get("uid", 0),
+    )
+
+
+class UdpNetwork:
+    """A :class:`~repro.neko.system.NetworkBackend` over real UDP sockets.
+
+    Each registered address is bound to a UDP port on ``host`` (default
+    loopback).  Addresses of *remote* peers can be declared with
+    :meth:`add_peer`, enabling genuinely distributed executions; the
+    integration tests use two endpoints on localhost.
+
+    Use :meth:`close` (or a ``with`` block) to stop the receiver threads.
+    """
+
+    MAX_DATAGRAM = 65_507
+
+    def __init__(
+        self,
+        scheduler: WallClockScheduler,
+        *,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+    ) -> None:
+        self._scheduler = scheduler
+        self._host = host
+        self._base_port = base_port
+        self._next_port_offset = 0
+        self._sockets: Dict[str, socket.socket] = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        self._endpoints: Dict[str, Tuple[str, int]] = {}
+        self._receivers: Dict[str, Callable[[Datagram], None]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # NetworkBackend interface
+    # ------------------------------------------------------------------
+    def register(self, address: str, receiver: Callable[[Datagram], None]) -> None:
+        """Bind a socket for ``address`` and start its receiver thread."""
+        if address in self._receivers:
+            raise ValueError(f"address {address!r} already registered")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        if self._base_port:
+            port = self._base_port + self._next_port_offset
+            self._next_port_offset += 1
+            sock.bind((self._host, port))
+        else:
+            sock.bind((self._host, 0))
+        sock.settimeout(0.2)
+        self._sockets[address] = sock
+        self._endpoints[address] = sock.getsockname()
+        self._receivers[address] = receiver
+        thread = threading.Thread(
+            target=self._receive_loop, args=(address, sock), daemon=True,
+            name=f"udp-recv-{address}",
+        )
+        self._threads[address] = thread
+        thread.start()
+
+    def send(self, message: Datagram) -> None:
+        """Serialise and transmit ``message`` to its destination endpoint."""
+        endpoint = self._endpoints.get(message.destination)
+        if endpoint is None:
+            # Unknown destination: fair-lossy links may drop, and UDP to a
+            # closed port is exactly that.
+            return
+        raw = _encode(message)
+        if len(raw) > self.MAX_DATAGRAM:
+            raise ValueError(f"datagram too large: {len(raw)} bytes")
+        source_socket = self._sockets.get(message.source)
+        sock = source_socket if source_socket is not None else self._any_socket()
+        sock.sendto(raw, endpoint)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def add_peer(self, address: str, host: str, port: int) -> None:
+        """Declare a remote peer's endpoint (for multi-host executions)."""
+        self._endpoints[address] = (host, port)
+
+    def endpoint(self, address: str) -> Tuple[str, int]:
+        """The (host, port) bound or declared for ``address``."""
+        return self._endpoints[address]
+
+    def _any_socket(self) -> socket.socket:
+        if not self._sockets:
+            raise RuntimeError("no local sockets registered")
+        return next(iter(self._sockets.values()))
+
+    # ------------------------------------------------------------------
+    # Receiving and shutdown
+    # ------------------------------------------------------------------
+    def _receive_loop(self, address: str, sock: socket.socket) -> None:
+        receiver = self._receivers[address]
+        while not self._closed:
+            try:
+                raw, _peer = sock.recvfrom(self.MAX_DATAGRAM)
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed during shutdown
+            try:
+                message = _decode(raw)
+            except (ValueError, KeyError):
+                continue  # corrupted datagram: drop (fair-lossy)
+            with self._scheduler.dispatch_lock:
+                if not self._closed:
+                    receiver(message)
+
+    def close(self) -> None:
+        """Stop receiver threads and close all sockets (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for sock in self._sockets.values():
+            sock.close()
+        for thread in self._threads.values():
+            thread.join(timeout=1.0)
+
+    def __enter__(self) -> "UdpNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["UdpNetwork", "WallClockScheduler"]

@@ -1,0 +1,259 @@
+"""The discrete-event simulation engine.
+
+The engine is a classic event-list simulator: a priority queue of
+``(time, priority, sequence, callback)`` entries.  The ``sequence`` number
+makes ordering *total* and therefore deterministic — two events scheduled
+for the same instant with the same priority fire in the order they were
+scheduled.
+
+Time is a ``float`` number of **seconds** of virtual time.  The paper
+reports metrics in milliseconds; conversion happens at the reporting layer
+(:mod:`repro.nekostat`), never inside the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already stopped, or re-cancelling a fired event.
+    """
+
+
+@dataclass(order=True)
+class Event:
+    """An entry in the simulator's event list.
+
+    Events compare by ``(time, priority, seq)`` which gives the engine a
+    total, deterministic order.  ``callback`` and bookkeeping fields are
+    excluded from comparison.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled :class:`Event`.
+
+    Handles are returned by :meth:`Simulator.schedule` and friends.  They
+    support cancellation and inspection but deliberately do not expose the
+    callback, keeping the engine's internals private.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The virtual time at which the event fires (or would have)."""
+        return self._event.time
+
+    @property
+    def name(self) -> str:
+        """The diagnostic name given at scheduling time."""
+        return self._event.name
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling is idempotent; cancelling an event that already fired is
+        a silent no-op, matching the semantics of ``asyncio`` timer handles
+        (the caller usually cannot know whether the race was lost).
+        """
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, name={self.name!r}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+
+    The simulator never advances wall-clock time; :attr:`now` jumps from
+    event to event.  All components in the reproduction receive the
+    simulator instance (or a clock derived from it) by dependency
+    injection — there is no global singleton.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time):
+            raise SimulationError(f"start_time must be finite, got {start_time!r}")
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from :attr:`now`.
+
+        ``delay`` must be non-negative and finite.  ``priority`` breaks ties
+        between events at the same instant (lower fires first); components
+        that must observe a consistent snapshot (e.g. the statistics
+        handlers) use a higher priority so they run after the mutating
+        events of the same instant.
+        """
+        return self.schedule_at(self._now + delay, callback, priority=priority, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, before current time {self._now:.6f}"
+            )
+        if not callable(callback):
+            raise SimulationError(f"callback must be callable, got {callback!r}")
+        event = Event(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty.  Cancelled events are discarded without executing.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` passes, or a budget hits.
+
+        ``until`` is an absolute virtual time: every event with
+        ``time <= until`` is executed, and :attr:`now` is advanced to
+        ``until`` afterwards even if no event fired exactly there.
+        ``max_events`` bounds the number of events executed in this call —
+        a guard against accidental unbounded periodic timers.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until:.6f}, before current time {self._now:.6f}"
+            )
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                upcoming = self._peek()
+                if upcoming is None:
+                    break
+                if until is not None and upcoming.time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without removing it."""
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return event
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )
+
+
+__all__ = ["Event", "EventHandle", "SimulationError", "Simulator"]

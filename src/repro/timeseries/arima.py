@@ -1,0 +1,229 @@
+"""ARIMA(p, d, q) online forecasting.
+
+An ARIMA(p, d, q) process is an ARMA(p, q) process on the ``d``-times
+differenced series.  :class:`ArimaForecaster` packages that for online use
+by the failure detector:
+
+* observations arrive one at a time (heartbeat delays);
+* the ARMA coefficients are re-estimated every ``refit_interval``
+  observations — the paper's ``N_arima = 1000`` — on a sliding window, so
+  the model "can adapt to the variable condition of the network";
+* between refits, one-step forecasts use the fitted coefficients with the
+  running innovation state;
+* before the first fit (or if fitting ever fails), the forecaster degrades
+  to last-value prediction, so the failure detector it feeds is *always*
+  armed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.timeseries.arma import ArmaModel, fit_arma_hannan_rissanen
+from repro.timeseries.base import Forecaster
+
+
+def difference(series, d: int) -> np.ndarray:
+    """Apply the difference operator ``(1 − B)^d`` to a series."""
+    values = np.asarray(series, dtype=float)
+    if d < 0:
+        raise ValueError(f"d must be >= 0, got {d}")
+    if d >= values.size and d > 0:
+        raise ValueError(f"series of length {values.size} cannot be differenced {d} times")
+    for _ in range(d):
+        values = np.diff(values)
+    return values
+
+
+def undifference_forecast(w_forecast: float, recent_values, d: int) -> float:
+    """Invert ``d`` differences: turn a forecast of ``w_{t+1}`` into one of
+    ``y_{t+1}`` given the most recent raw values.
+
+    From ``w_{t+1} = (1 − B)^d y_{t+1}``::
+
+        y_{t+1} = w_{t+1} + sum_{k=1..d} (−1)^{k+1} C(d, k) y_{t+1−k}
+
+    ``recent_values[-1]`` must be ``y_t``; at least ``d`` values are needed.
+    """
+    if d < 0:
+        raise ValueError(f"d must be >= 0, got {d}")
+    if len(recent_values) < d:
+        raise ValueError(f"need at least {d} recent values, got {len(recent_values)}")
+    result = float(w_forecast)
+    for k in range(1, d + 1):
+        # (−1)^{k+1}: positive for odd k.
+        sign = 1.0 if k % 2 == 1 else -1.0
+        result += sign * math.comb(d, k) * float(recent_values[-k])
+    return result
+
+
+class ArimaForecaster(Forecaster):
+    """Online ARIMA(p, d, q) with periodic refitting.
+
+    Parameters
+    ----------
+    p, d, q:
+        Model orders.  The paper's selected model is (2, 1, 1).
+    refit_interval:
+        Re-estimate coefficients every this many observations
+        (paper: ``N_arima = 1000``).
+    initial_fit:
+        Observation count at which the first fit is attempted; before
+        that, prediction degrades to last-value.
+    fit_window:
+        Number of most recent observations used for each fit.  Bounds the
+        refit cost on arbitrarily long runs.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        d: int,
+        q: int,
+        *,
+        refit_interval: int = 1000,
+        initial_fit: int = 200,
+        fit_window: int = 4000,
+    ) -> None:
+        if min(p, d, q) < 0:
+            raise ValueError(f"orders must be >= 0, got ({p}, {d}, {q})")
+        if p == 0 and q == 0 and d == 0:
+            # Degenerate "white noise around a constant" model is allowed:
+            # it predicts the fitted intercept.
+            pass
+        if refit_interval <= 0:
+            raise ValueError(f"refit_interval must be > 0, got {refit_interval}")
+        if initial_fit <= max(p, q, d) + 1:
+            raise ValueError(
+                f"initial_fit must exceed the model order, got {initial_fit}"
+            )
+        if fit_window < initial_fit:
+            raise ValueError("fit_window must be >= initial_fit")
+        self.p = int(p)
+        self.d = int(d)
+        self.q = int(q)
+        self._refit_interval = int(refit_interval)
+        self._initial_fit = int(initial_fit)
+        self._fit_window = int(fit_window)
+        self._raw: Deque[float] = deque(maxlen=fit_window + d + 1)
+        self._count = 0
+        self._model: Optional[ArmaModel] = None
+        self._recent_w: Deque[float] = deque(maxlen=max(p, 1))
+        self._recent_innovations: Deque[float] = deque(maxlen=max(q, 1))
+        self._last_w_forecast: Optional[float] = None
+        self.refits = 0
+        self.failed_fits = 0
+
+    # ------------------------------------------------------------------
+    # Forecaster interface
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"observation must be finite, got {value!r}")
+        self._raw.append(value)
+        self._count += 1
+        if len(self._raw) > self.d:
+            w = self._current_differenced()
+            if self._model is not None:
+                forecast = (
+                    self._last_w_forecast
+                    if self._last_w_forecast is not None
+                    else self._model.forecast_one(
+                        list(self._recent_w), list(self._recent_innovations)
+                    )
+                )
+                self._recent_innovations.append(w - forecast)
+            self._recent_w.append(w)
+            self._last_w_forecast = None
+        if self._should_refit():
+            self._refit()
+
+    def predict(self) -> float:
+        if self._model is None:
+            return self._fallback_prediction()
+        w_forecast = self._model.forecast_one(
+            list(self._recent_w), list(self._recent_innovations)
+        )
+        self._last_w_forecast = w_forecast
+        if len(self._raw) < self.d:
+            return self._fallback_prediction()
+        return undifference_forecast(w_forecast, list(self._raw), self.d)
+
+    def reset(self) -> None:
+        self._raw.clear()
+        self._count = 0
+        self._model = None
+        self._recent_w.clear()
+        self._recent_innovations.clear()
+        self._last_w_forecast = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fallback_prediction(self) -> float:
+        return self._raw[-1] if self._raw else 0.0
+
+    def _current_differenced(self) -> float:
+        """``w_t`` from the last ``d + 1`` raw values."""
+        if self.d == 0:
+            return self._raw[-1]
+        window = list(self._raw)[-(self.d + 1):]
+        return float(difference(window, self.d)[-1])
+
+    def _should_refit(self) -> bool:
+        if self._count < self._initial_fit:
+            return False
+        if self._model is None:
+            return True
+        return self._count % self._refit_interval == 0
+
+    def _refit(self) -> None:
+        raw = np.asarray(self._raw, dtype=float)
+        w_series = difference(raw, self.d)
+        if w_series.size < self._initial_fit - self.d:
+            return
+        try:
+            model = fit_arma_hannan_rissanen(w_series, self.p, self.q)
+        except (ValueError, np.linalg.LinAlgError):
+            self.failed_fits += 1
+            return
+        if not model.is_stationary():
+            # A non-stationary fit would make forecasts diverge between
+            # refits; keep the previous model instead.
+            self.failed_fits += 1
+            return
+        self._model = model
+        self.refits += 1
+        # Rebuild the innovation state consistently with the new model.
+        innovations = model.innovations(w_series)
+        self._recent_w.clear()
+        for value in w_series[-self._recent_w.maxlen:]:
+            self._recent_w.append(float(value))
+        self._recent_innovations.clear()
+        for value in innovations[-self._recent_innovations.maxlen:]:
+            self._recent_innovations.append(float(value))
+        self._last_w_forecast = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether a model has been fitted yet."""
+        return self._model is not None
+
+    @property
+    def model(self) -> Optional[ArmaModel]:
+        """The current fitted ARMA model on the differenced series."""
+        return self._model
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArimaForecaster(p={self.p}, d={self.d}, q={self.q}, "
+            f"fitted={self.fitted}, observations={self._count})"
+        )
+
+
+__all__ = ["ArimaForecaster", "difference", "undifference_forecast"]

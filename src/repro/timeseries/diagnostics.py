@@ -1,0 +1,76 @@
+"""Time-series diagnostics: ACF, PACF, Ljung–Box.
+
+Used by the characterisation experiment (the delay trace's autocorrelation
+is what makes adaptive predictors worthwhile) and by tests that verify the
+ARIMA machinery against series of known structure.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.timeseries.ar import fit_ar_yule_walker
+
+
+def acf(series, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation function at lags ``0..max_lag``."""
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("series must be 1-D with at least two values")
+    if max_lag < 0:
+        raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+    max_lag = min(max_lag, values.size - 1)
+    centred = values - np.mean(values)
+    n = centred.size
+    denominator = float(np.dot(centred, centred))
+    if denominator == 0.0:
+        result = np.zeros(max_lag + 1)
+        result[0] = 1.0
+        return result
+    result = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        result[lag] = float(np.dot(centred[: n - lag], centred[lag:])) / denominator
+    return result
+
+
+def pacf(series, max_lag: int) -> np.ndarray:
+    """Sample partial autocorrelation at lags ``0..max_lag``.
+
+    Computed as the last Yule–Walker coefficient of successively larger AR
+    fits (the textbook definition).  ``pacf[0]`` is 1 by convention.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("series must be 1-D with at least two values")
+    if max_lag < 0:
+        raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+    max_lag = min(max_lag, values.size - 2)
+    result = np.empty(max_lag + 1)
+    result[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        phi, _ = fit_ar_yule_walker(values, lag)
+        result[lag] = phi[-1]
+    return result
+
+
+def ljung_box(series, lags: int) -> Tuple[float, int]:
+    """Ljung–Box portmanteau statistic ``Q`` over ``lags`` lags.
+
+    Returns ``(Q, dof)``.  Under the white-noise null, ``Q`` is
+    approximately chi-squared with ``dof = lags`` degrees of freedom; a
+    residual series from a well-fitted model should give a small ``Q``.
+    """
+    values = np.asarray(series, dtype=float)
+    if lags < 1:
+        raise ValueError(f"lags must be >= 1, got {lags}")
+    n = values.size
+    if n <= lags + 1:
+        raise ValueError(f"series of length {n} too short for {lags} lags")
+    correlations = acf(values, lags)[1:]
+    q = n * (n + 2) * float(np.sum(correlations**2 / (n - np.arange(1, lags + 1))))
+    return q, lags
+
+
+__all__ = ["acf", "ljung_box", "pacf"]

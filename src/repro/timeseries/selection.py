@@ -1,0 +1,123 @@
+"""ARIMA order selection by one-step mean squared prediction error.
+
+The paper selected ARIMA(2, 1, 1) by searching the order space
+``[0,0,0]..[10,10,10]`` for the (p, d, q) minimising ``msqerr`` on a
+collected delay trace (its Section 5.1, using the RPS toolkit).
+:func:`select_arima_order` reproduces that procedure.
+
+For tractability the evaluation fits each candidate once on a training
+prefix and scores one-step forecasts over the evaluation suffix with fixed
+coefficients (coefficients only matter to within the refit interval anyway;
+the online forecaster refits every 1000 observations).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.timeseries.arima import difference, undifference_forecast
+from repro.timeseries.arma import fit_arma_hannan_rissanen
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of an ARIMA order grid search."""
+
+    best_order: Tuple[int, int, int]
+    best_msqerr: float
+    scores: Dict[Tuple[int, int, int], float]
+
+    def ranked(self) -> List[Tuple[Tuple[int, int, int], float]]:
+        """Orders sorted best-first, failed fits (``inf``) last."""
+        return sorted(self.scores.items(), key=lambda item: item[1])
+
+
+def score_order(
+    series: Sequence[float],
+    p: int,
+    d: int,
+    q: int,
+    *,
+    train_fraction: float = 0.5,
+) -> float:
+    """One-step out-of-sample ``msqerr`` of ARIMA(p, d, q) on ``series``.
+
+    The model is fitted on the first ``train_fraction`` of the series and
+    evaluated by one-step forecasts (with running innovations) over the
+    remainder.  Returns ``inf`` when the fit fails or diverges.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.size < 20:
+        raise ValueError(f"series too short for order selection: {values.size}")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction!r}")
+    split = int(values.size * train_fraction)
+    split = max(split, 10)
+    if split >= values.size:
+        raise ValueError("train_fraction leaves no evaluation data")
+    w_all = difference(values, d)
+    w_split = split - d
+    if w_split < max(p, q) + 5:
+        return math.inf
+    try:
+        model = fit_arma_hannan_rissanen(w_all[:w_split], p, q)
+    except (ValueError, np.linalg.LinAlgError):
+        return math.inf
+    if not model.is_stationary():
+        return math.inf
+
+    # Filter the full differenced series to obtain innovations, then score
+    # forecasts of y over the evaluation suffix.
+    innovations = model.innovations(w_all)
+    squared_errors: List[float] = []
+    for t in range(w_split, w_all.size):
+        # Forecast w_t from information through t-1.
+        w_hat = model.forecast_one(w_all[:t], innovations[:t])
+        y_index = t + d  # w_t corresponds to raw index t + d
+        y_hat = undifference_forecast(w_hat, values[:y_index], d)
+        error = values[y_index] - y_hat
+        if not math.isfinite(error):
+            return math.inf
+        squared_errors.append(error * error)
+    if not squared_errors:
+        return math.inf
+    return float(np.mean(squared_errors))
+
+
+def select_arima_order(
+    series: Sequence[float],
+    *,
+    p_range: Iterable[int] = range(0, 4),
+    d_range: Iterable[int] = range(0, 3),
+    q_range: Iterable[int] = range(0, 4),
+    train_fraction: float = 0.5,
+) -> GridSearchResult:
+    """Grid-search (p, d, q) minimising one-step ``msqerr``.
+
+    The default ranges cover the region where all practically selected
+    models live; pass ``range(0, 11)`` for each to reproduce the paper's
+    full ``[0,0,0]..[10,10,10]`` search (slower, same winner on our
+    traces).
+    """
+    scores: Dict[Tuple[int, int, int], float] = {}
+    best_order: Optional[Tuple[int, int, int]] = None
+    best_score = math.inf
+    for p, d, q in itertools.product(p_range, d_range, q_range):
+        score = score_order(series, p, d, q, train_fraction=train_fraction)
+        scores[(p, d, q)] = score
+        # Strict inequality: among ties, the first (smallest) order wins,
+        # which encodes a parsimony preference.
+        if score < best_score:
+            best_score = score
+            best_order = (p, d, q)
+    if best_order is None or math.isinf(best_score):
+        raise RuntimeError("no ARIMA order could be fitted on the series")
+    return GridSearchResult(best_order=best_order, best_msqerr=best_score, scores=scores)
+
+
+__all__ = ["GridSearchResult", "score_order", "select_arima_order"]

@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.neko.layer import Layer, ProtocolStack
+from repro.neko.system import NekoSystem
+from repro.nekostat.log import EventLog
+from repro.net.delay import ConstantDelay
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator starting at t = 0."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams with a fixed seed."""
+    return RandomStreams(12345)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded numpy generator for direct model tests."""
+    return np.random.default_rng(987)
+
+
+@pytest.fixture
+def event_log() -> EventLog:
+    """An empty event log."""
+    return EventLog()
+
+
+class RecordingLayer(Layer):
+    """A top layer that records everything delivered to it."""
+
+    def __init__(self, name: str = "recorder") -> None:
+        super().__init__(name=name)
+        self.received = []
+
+    def deliver(self, message) -> None:
+        self.received.append(message)
+
+
+def make_two_process_system(
+    sim: Simulator,
+    monitored_layers,
+    monitor_layers,
+    *,
+    delay: float = 0.0,
+):
+    """Wire a minimal monitored/monitor pair with constant-delay links."""
+    system = NekoSystem(sim)
+    system.network.set_link("monitored", "monitor", ConstantDelay(delay))
+    system.network.set_link("monitor", "monitored", ConstantDelay(delay))
+    monitored = system.create_process("monitored", ProtocolStack(monitored_layers))
+    monitor = system.create_process("monitor", ProtocolStack(monitor_layers))
+    return system, monitored, monitor

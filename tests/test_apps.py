@@ -1,0 +1,217 @@
+"""Tests for the upper-layer applications: membership and consensus."""
+
+import pytest
+
+from repro.apps.consensus import ConsensusLayer
+from repro.apps.harness import build_consensus_group
+from repro.apps.membership import MembershipService
+from repro.fd.combinations import make_strategy
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.net.wan import italy_japan_profile, lan_profile
+from repro.sim.engine import Simulator
+
+
+def suspect_event(time, detector, start=True):
+    kind = EventKind.START_SUSPECT if start else EventKind.END_SUSPECT
+    return StatEvent(time=time, kind=kind, site="monitor", detector=detector)
+
+
+class TestMembershipService:
+    def make(self, event_log, members=("a", "b", "c")):
+        return MembershipService(
+            event_log,
+            members,
+            {member: f"fd-{member}" for member in members},
+        )
+
+    def test_initial_view_and_coordinator(self, event_log):
+        service = self.make(event_log)
+        assert service.view() == ["a", "b", "c"]
+        assert service.coordinator() == "a"
+        assert service.stats.elections == 0
+
+    def test_suspecting_coordinator_triggers_election(self, event_log):
+        service = self.make(event_log)
+        event_log.append(suspect_event(10.0, "fd-a"))
+        assert service.coordinator() == "b"
+        assert service.stats.elections == 1
+        assert service.stats.coordinator_history[-1] == (10.0, "b")
+
+    def test_suspecting_non_coordinator_changes_view_only(self, event_log):
+        service = self.make(event_log)
+        event_log.append(suspect_event(10.0, "fd-c"))
+        assert service.coordinator() == "a"
+        assert service.stats.elections == 0
+        assert service.stats.view_changes == 1
+        assert service.view() == ["a", "b"]
+
+    def test_trust_restoration_reelects_by_rank(self, event_log):
+        service = self.make(event_log)
+        event_log.append(suspect_event(10.0, "fd-a"))
+        event_log.append(suspect_event(20.0, "fd-a", start=False))
+        assert service.coordinator() == "a"
+        assert service.stats.elections == 2  # a->b and b->a
+
+    def test_all_suspected_gives_no_coordinator(self, event_log):
+        service = self.make(event_log)
+        for t, member in [(1.0, "a"), (2.0, "b"), (3.0, "c")]:
+            event_log.append(suspect_event(t, f"fd-{member}"))
+        assert service.coordinator() is None
+        assert service.view() == []
+
+    def test_foreign_detector_events_ignored(self, event_log):
+        service = self.make(event_log)
+        event_log.append(suspect_event(1.0, "unrelated"))
+        assert service.stats.view_changes == 0
+
+    def test_on_election_callback(self, event_log):
+        calls = []
+        MembershipService(
+            event_log, ["a", "b"], {"a": "fd-a", "b": "fd-b"},
+            on_election=lambda t, old, new: calls.append((t, old, new)),
+        )
+        event_log.append(suspect_event(5.0, "fd-a"))
+        assert calls == [(5.0, "a", "b")]
+
+    def test_validation(self, event_log):
+        with pytest.raises(ValueError):
+            MembershipService(event_log, [], {})
+        with pytest.raises(ValueError):
+            MembershipService(event_log, ["a"], {})
+
+
+class TestConsensusNoFailures:
+    def run_group(self, n=3, profile=None, until=30.0, crash_schedules=None,
+                  values=None, seed=0):
+        sim = Simulator()
+        group = [f"p{i}" for i in range(n)]
+        world = build_consensus_group(
+            sim,
+            group,
+            profile if profile is not None else lan_profile(),
+            lambda: make_strategy("Last", "JAC_med"),
+            seed=seed,
+            eta=0.5,
+            initial_timeout=2.0,
+            crash_schedules=crash_schedules,
+            retransmit_interval=0.5,
+        )
+        world.system.start()
+        if values is None:
+            values = {address: f"v-{address}" for address in group}
+        world.propose_all(values)
+        sim.run(until=until)
+        return world
+
+    def test_all_decide_same_value(self):
+        world = self.run_group()
+        decisions = world.decisions()
+        assert all(result is not None for result in decisions.values())
+        assert len(world.decided_values()) == 1
+
+    def test_decides_in_round_zero_without_failures(self):
+        world = self.run_group()
+        assert all(r.round == 0 for r in world.decisions().values())
+
+    def test_decision_is_a_proposed_value(self):
+        world = self.run_group()
+        decided = world.decided_values()[0]
+        assert decided in {f"v-p{i}" for i in range(3)}
+
+    def test_five_processes(self):
+        world = self.run_group(n=5)
+        assert len(world.decided_values()) == 1
+        assert all(result is not None for result in world.decisions().values())
+
+    def test_decision_latency_reasonable_on_lan(self):
+        world = self.run_group()
+        latest = max(r.decided_at for r in world.decisions().values())
+        assert latest < 1.0  # three message delays on a sub-ms LAN
+
+    def test_works_over_lossy_wan(self):
+        world = self.run_group(profile=italy_japan_profile(), until=60.0)
+        assert len(world.decided_values()) == 1
+        assert all(result is not None for result in world.decisions().values())
+
+
+class TestConsensusWithCrashes:
+    def run_group(self, crash_schedules, n=3, until=120.0, propose_at=0.0):
+        sim = Simulator()
+        group = [f"p{i}" for i in range(n)]
+        world = build_consensus_group(
+            sim, group, lan_profile(),
+            lambda: make_strategy("Last", "JAC_med"),
+            eta=0.5, initial_timeout=2.0,
+            crash_schedules=crash_schedules,
+            retransmit_interval=0.5,
+        )
+        world.system.start()
+        values = {address: f"v-{address}" for address in group}
+        if propose_at > 0:
+            sim.schedule(propose_at, lambda: world.propose_all(values))
+        else:
+            world.propose_all(values)
+        sim.run(until=until)
+        return world
+
+    def test_survivors_decide_despite_crashed_coordinator(self):
+        # p0 is the round-0 coordinator; it crashes before anyone proposes
+        # and stays down.  The survivors must rotate to p1 and decide.
+        world = self.run_group({"p0": [(0.1, 1e9)]}, propose_at=1.0)
+        survivors = {a: r for a, r in world.decisions().items() if a != "p0"}
+        assert all(result is not None for result in survivors.values())
+        assert len(world.decided_values()) == 1
+        assert all(result.round >= 1 for result in survivors.values())
+
+    def test_crash_after_decision_is_harmless(self):
+        world = self.run_group({"p0": [(50.0, 1e9)]})
+        assert all(result is not None for result in world.decisions().values())
+        assert all(result.round == 0 for result in world.decisions().values())
+
+    def test_minority_crash_tolerated_in_five(self):
+        world = self.run_group(
+            {"p0": [(0.1, 1e9)], "p1": [(0.1, 1e9)]}, n=5
+        )
+        survivors = {a: r for a, r in world.decisions().items()
+                     if a not in ("p0", "p1")}
+        assert all(result is not None for result in survivors.values())
+        assert len(world.decided_values()) == 1
+
+    def test_agreement_never_violated(self):
+        # Whatever happens, no two processes decide differently.
+        for schedules in (
+            {"p0": [(0.1, 1e9)]},
+            {"p1": [(0.3, 20.0)]},
+            {"p2": [(1.0, 5.0), (30.0, 40.0)]},
+        ):
+            world = self.run_group(schedules)
+            assert len(world.decided_values()) <= 1
+
+
+class TestConsensusValidation:
+    def test_group_too_small(self):
+        with pytest.raises(ValueError):
+            ConsensusLayer(["only"], lambda peer: False)
+
+    def test_duplicate_members(self):
+        with pytest.raises(ValueError):
+            ConsensusLayer(["a", "a"], lambda peer: False)
+
+    def test_double_propose_rejected(self):
+        sim = Simulator()
+        world = build_consensus_group(
+            sim, ["a", "b"], lan_profile(),
+            lambda: make_strategy("Last", "JAC_med"),
+        )
+        world.system.start()
+        world.consensus["a"].propose(1)
+        with pytest.raises(RuntimeError):
+            world.consensus["a"].propose(2)
+
+    def test_harness_group_too_small(self):
+        with pytest.raises(ValueError):
+            build_consensus_group(
+                Simulator(), ["solo"], lan_profile(),
+                lambda: make_strategy("Last", "JAC_med"),
+            )

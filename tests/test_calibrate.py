@@ -1,0 +1,103 @@
+"""Tests for profile calibration from measured traces."""
+
+import numpy as np
+import pytest
+
+from repro.net.calibrate import CalibrationResult, calibrate
+from repro.net.traces import DelayTrace
+from repro.net.wan import italy_japan_profile
+from repro.sim.random import RandomStreams
+
+
+def synthesize(profile, count=50_000, seed=7, direction="cal"):
+    model = profile.build_delay_model(RandomStreams(seed), direction)
+    return DelayTrace([model.sample(float(i)) for i in range(count)])
+
+
+@pytest.fixture(scope="module")
+def wan_trace():
+    return synthesize(italy_japan_profile())
+
+
+@pytest.fixture(scope="module")
+def calibrated(wan_trace):
+    return calibrate(wan_trace)
+
+
+class TestParameterRecovery:
+    def test_floor_recovered(self, calibrated):
+        assert calibrated.floor == pytest.approx(0.192, abs=0.002)
+
+    def test_white_std_recovered(self, calibrated):
+        # Generator uses sqrt(8e-6) ~ 2.83 ms.
+        assert calibrated.white_std == pytest.approx(0.00283, rel=0.35)
+
+    def test_telegraph_amplitude_recovered(self, calibrated):
+        # Generator uses 11 ms epochs.
+        assert calibrated.telegraph_high == pytest.approx(0.011, rel=0.4)
+
+    def test_dwell_asymmetry_recovered(self, calibrated):
+        # Low dwell (35) exceeds high dwell (11).
+        assert calibrated.telegraph_dwell_low > calibrated.telegraph_dwell_high
+
+    def test_spikes_detected(self, calibrated):
+        assert calibrated.spike_probability > 0
+        assert calibrated.spike_max > 0.02  # the 30-80 ms spikes
+
+
+class TestRoundTrip:
+    def test_summary_statistics_match(self, wan_trace, calibrated):
+        profile = calibrated.build_profile()
+        regenerated = synthesize(profile, seed=99, direction="regen")
+        original = wan_trace.summary()
+        copy = regenerated.summary()
+        assert copy.mean == pytest.approx(original.mean, abs=0.004)
+        assert copy.std == pytest.approx(original.std, rel=0.35)
+        assert copy.minimum == pytest.approx(original.minimum, abs=0.003)
+
+    def test_autocorrelation_shape_preserved(self, wan_trace, calibrated):
+        profile = calibrated.build_profile()
+        regenerated = synthesize(profile, seed=99, direction="regen")
+        original_acf = wan_trace.autocorrelation(5)
+        copy_acf = regenerated.autocorrelation(5)
+        # Both must show the epoch-driven positive short-range correlation.
+        assert copy_acf[1] > 0.2
+        assert abs(copy_acf[1] - original_acf[1]) < 0.35
+
+    def test_profile_is_usable_in_experiments(self, calibrated):
+        from repro.experiments.characterize import characterize_profile
+
+        profile = calibrated.build_profile(loss_probability=0.004)
+        result = characterize_profile(profile, samples=5_000)
+        assert result.delay.minimum >= calibrated.floor - 1e-9
+        assert 0.0 < result.loss_probability < 0.02
+
+
+class TestEdgeCases:
+    def test_constant_trace(self):
+        result = calibrate([0.2] * 2000)
+        assert result.floor == 0.2
+        assert result.white_std == pytest.approx(0.0, abs=1e-4)
+        assert result.spike_probability == 0.0
+
+    def test_pure_white_noise_trace(self):
+        rng = np.random.default_rng(0)
+        trace = 0.1 + np.abs(rng.normal(0.01, 0.002, 20_000))
+        result = calibrate(trace)
+        assert result.floor == pytest.approx(0.1, abs=0.005)
+        assert result.telegraph_high < 0.01  # no real epochs to find
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate([0.2] * 100)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate([0.2] * 999 + [-1.0])
+        with pytest.raises(ValueError):
+            calibrate([0.2] * 999 + [float("nan")])
+
+    def test_accepts_delay_trace_object(self):
+        trace = DelayTrace([0.2 + 0.001 * (i % 7) for i in range(2000)])
+        result = calibrate(trace)
+        assert isinstance(result, CalibrationResult)

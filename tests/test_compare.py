@@ -1,0 +1,105 @@
+"""Tests for campaign comparison statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.compare import (
+    compare_campaigns,
+    format_comparison,
+    welch_t,
+)
+from repro.experiments.runner import AggregatedQos
+
+
+def aggregate(detector, td=(), tm=(), tmr=()):
+    return AggregatedQos(
+        detector=detector,
+        td_samples=list(td),
+        tm_samples=list(tm),
+        tmr_samples=list(tmr),
+        up_time=100.0,
+    )
+
+
+class TestWelchT:
+    def test_zero_for_identical_samples(self):
+        assert welch_t([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_sign_follows_direction(self):
+        assert welch_t([1.0, 1.1, 0.9], [2.0, 2.1, 1.9]) > 0
+        assert welch_t([2.0, 2.1, 1.9], [1.0, 1.1, 0.9]) < 0
+
+    def test_large_for_separated_samples(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(1.0, 0.1, 100)
+        b = rng.normal(2.0, 0.1, 100)
+        assert welch_t(list(a), list(b)) > 20
+
+    def test_degenerate_samples_give_zero(self):
+        assert welch_t([1.0], [2.0, 3.0]) == 0.0
+        assert welch_t([1.0, 1.0], [1.0, 1.0]) == 0.0
+
+
+class TestCompareCampaigns:
+    def test_detects_real_shift(self):
+        rng = np.random.default_rng(1)
+        a = {"fd": aggregate("fd", td=rng.normal(0.7, 0.05, 60))}
+        b = {"fd": aggregate("fd", td=rng.normal(0.9, 0.05, 60))}
+        result = compare_campaigns(a, b)
+        td = result["fd"].metrics["td"]
+        assert td.significant
+        assert td.difference == pytest.approx(0.2, abs=0.03)
+        assert result["fd"].any_significant()
+
+    def test_no_false_alarm_on_same_distribution(self):
+        rng = np.random.default_rng(2)
+        a = {"fd": aggregate("fd", td=rng.normal(0.7, 0.05, 60))}
+        b = {"fd": aggregate("fd", td=rng.normal(0.7, 0.05, 60))}
+        result = compare_campaigns(a, b, confidence=0.99)
+        assert not result["fd"].metrics["td"].significant
+
+    def test_only_shared_detectors_compared(self):
+        a = {"x": aggregate("x", td=[1.0, 1.1]), "only-a": aggregate("only-a")}
+        b = {"x": aggregate("x", td=[1.0, 1.2]), "only-b": aggregate("only-b")}
+        result = compare_campaigns(a, b)
+        assert set(result) == {"x"}
+
+    def test_missing_samples_skip_metric(self):
+        a = {"fd": aggregate("fd", td=[1.0, 1.1])}
+        b = {"fd": aggregate("fd", td=[1.0, 1.2])}
+        result = compare_campaigns(a, b)
+        assert "td" in result["fd"].metrics
+        assert "tm" not in result["fd"].metrics
+
+    def test_relative_change(self):
+        a = {"fd": aggregate("fd", td=[1.0, 1.0, 1.0])}
+        b = {"fd": aggregate("fd", td=[1.5, 1.5, 1.5])}
+        result = compare_campaigns(a, b)
+        assert result["fd"].metrics["td"].relative_change == pytest.approx(0.5)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            compare_campaigns({}, {}, confidence=1.5)
+
+
+class TestFormatComparison:
+    def test_renders_table(self):
+        rng = np.random.default_rng(3)
+        a = {"fd": aggregate("fd", td=rng.normal(0.7, 0.05, 50),
+                             tmr=rng.normal(30.0, 5.0, 50))}
+        b = {"fd": aggregate("fd", td=rng.normal(0.9, 0.05, 50),
+                             tmr=rng.normal(30.0, 5.0, 50))}
+        text = format_comparison(compare_campaigns(a, b))
+        assert "fd" in text
+        assert "SIGNIFICANT" in text
+        assert "~same" in text
+
+    def test_only_significant_filter(self):
+        rng = np.random.default_rng(4)
+        same = rng.normal(0.7, 0.05, 50)
+        a = {"fd": aggregate("fd", td=same)}
+        b = {"fd": aggregate("fd", td=same + rng.normal(0, 1e-6, 50))}
+        text = format_comparison(
+            compare_campaigns(a, b), only_significant=True
+        )
+        assert "SIGNIFICANT" not in text

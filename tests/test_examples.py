@@ -1,0 +1,54 @@
+"""Smoke tests: every example script must run green end to end.
+
+Examples are user-facing documentation; a broken one is a broken README.
+Each runs in a subprocess with reduced workload arguments where the
+script supports them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> extra argv (reduced workloads for CI speed)
+EXAMPLES = {
+    "quickstart.py": [],
+    "compare_30_detectors.py": ["2000"],
+    "group_membership.py": [],
+    "environments.py": [],
+    "trace_workflow.py": ["4000"],
+    "consensus_demo.py": [],
+    "tune_timeout.py": [],
+    "custom_predictor.py": [],
+    "real_udp.py": [],
+}
+
+
+def run_example(name, args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name,args", sorted(EXAMPLES.items()))
+def test_example_runs_clean(name, args):
+    result = run_example(name, args)
+    assert result.returncode == 0, (
+        f"{name} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_every_example_file_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples on disk and smoke-test table disagree: "
+        f"{on_disk.symmetric_difference(set(EXAMPLES))}"
+    )

@@ -1,0 +1,53 @@
+"""Fair-comparison guarantees of the experimental architecture.
+
+The paper's MultiPlexer exists so all 30 detectors "perceive identical
+network conditions".  In this reproduction the guarantee is even
+stronger and testable: detectors are pure observers (nothing they do
+feeds back into the network or the crash schedule), and all randomness
+comes from streams named independently of the detector set — so a
+detector's QoS samples are bit-identical whether it runs alone, among
+all thirty, or listed in a different order."""
+
+import pytest
+
+from repro.experiments.runner import run_qos_experiment
+from repro.fd.combinations import combination_ids
+from repro.neko.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(num_cycles=800, mttc=80.0, ttr=15.0, seed=33)
+
+
+def samples(result, detector_id):
+    qos = result.qos[detector_id]
+    return (
+        qos.td_samples,
+        [(m.start, m.end) for m in qos.mistakes],
+        qos.suspected_up_time,
+    )
+
+
+class TestObserverPurity:
+    def test_alone_vs_full_set_identical(self):
+        alone = run_qos_experiment(CONFIG, ["Arima+JAC_high"])
+        full = run_qos_experiment(CONFIG, combination_ids())
+        assert samples(alone, "Arima+JAC_high") == samples(full, "Arima+JAC_high")
+
+    def test_order_of_detectors_irrelevant(self):
+        forward = run_qos_experiment(CONFIG, ["Last+CI_low", "Mean+JAC_med"])
+        backward = run_qos_experiment(CONFIG, ["Mean+JAC_med", "Last+CI_low"])
+        for detector_id in ("Last+CI_low", "Mean+JAC_med"):
+            assert samples(forward, detector_id) == samples(backward, detector_id)
+
+    def test_crash_schedule_independent_of_detector_set(self):
+        a = run_qos_experiment(CONFIG, ["Last+CI_low"])
+        b = run_qos_experiment(CONFIG, combination_ids())
+        assert a.crashes == b.crashes
+        assert a.event_log.crash_intervals(end_time=CONFIG.duration) == (
+            b.event_log.crash_intervals(end_time=CONFIG.duration)
+        )
+
+    def test_network_conditions_independent_of_detector_set(self):
+        a = run_qos_experiment(CONFIG, ["Last+CI_low"])
+        b = run_qos_experiment(CONFIG, combination_ids())
+        assert a.heartbeats_delivered == b.heartbeats_delivered
+        assert a.link_loss_rate == b.link_loss_rate

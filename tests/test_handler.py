@@ -1,0 +1,66 @@
+"""Tests for the FDStatHandler (the paper's FD_StatHandler)."""
+
+import pytest
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.handler import FDStatHandler
+from repro.nekostat.log import EventLog
+
+
+def feed(log, entries):
+    for time, kind, detector, seq in entries:
+        site = "monitor" if detector else "monitored"
+        log.append(StatEvent(time=time, kind=kind, site=site,
+                             detector=detector, seq=seq))
+
+
+class TestOnlineCounters:
+    def test_counts_event_kinds(self, event_log):
+        handler = FDStatHandler(event_log)
+        feed(event_log, [
+            (0.0, EventKind.SENT, None, 0),
+            (0.2, EventKind.RECEIVED, None, 0),
+            (1.0, EventKind.SENT, None, 1),
+            (5.0, EventKind.CRASH, None, None),
+            (6.0, EventKind.START_SUSPECT, "fd", None),
+            (9.0, EventKind.RESTORE, None, None),
+            (9.2, EventKind.END_SUSPECT, "fd", None),
+        ])
+        assert handler.heartbeats_sent == 2
+        assert handler.heartbeats_received == 1
+        assert handler.crashes == 1
+        assert handler.suspect_transitions == 2
+
+    def test_subscribe_false_needs_manual_feed(self, event_log):
+        handler = FDStatHandler(event_log, subscribe=False)
+        feed(event_log, [(0.0, EventKind.SENT, None, 0)])
+        assert handler.heartbeats_sent == 0
+        handler.handle(event_log[0])
+        assert handler.heartbeats_sent == 1
+
+    def test_qos_delegates_to_extractor(self, event_log):
+        handler = FDStatHandler(event_log)
+        feed(event_log, [
+            (5.0, EventKind.CRASH, None, None),
+            (6.0, EventKind.START_SUSPECT, "fd", None),
+            (9.0, EventKind.RESTORE, None, None),
+            (9.2, EventKind.END_SUSPECT, "fd", None),
+        ])
+        qos = handler.qos(end_time=20.0)["fd"]
+        assert qos.td_samples == pytest.approx([1.0])
+
+    def test_results_bundle(self, event_log):
+        handler = FDStatHandler(event_log)
+        feed(event_log, [
+            (0.0, EventKind.SENT, None, 0),
+            (6.0, EventKind.START_SUSPECT, "fd", None),
+            (7.0, EventKind.END_SUSPECT, "fd", None),
+        ])
+        results = handler.results()
+        assert results["heartbeats_sent"] == 1
+        assert results["suspect_transitions"] == 2
+        assert "fd" in results["qos"]
+
+    def test_log_property(self, event_log):
+        handler = FDStatHandler(event_log)
+        assert handler.log is event_log

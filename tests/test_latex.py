@@ -1,0 +1,67 @@
+"""Tests for LaTeX export."""
+
+import math
+
+import pytest
+
+from repro.experiments.characterize import characterize_profile
+from repro.experiments.latex import (
+    latex_figure_grid,
+    latex_predictor_accuracy_table,
+    latex_wan_table,
+)
+
+
+class TestAccuracyTable:
+    def test_rows_ranked_and_scaled(self):
+        text = latex_predictor_accuracy_table({"Arima": 3e-5, "Last": 5e-5})
+        lines = text.splitlines()
+        arima_index = next(i for i, l in enumerate(lines) if "Arima" in l)
+        last_index = next(i for i, l in enumerate(lines) if "Last" in l)
+        assert arima_index < last_index
+        assert "30.000" in lines[arima_index]
+
+    def test_valid_tabular_structure(self):
+        text = latex_predictor_accuracy_table({"Arima": 3e-5})
+        assert text.startswith(r"\begin{tabular}")
+        assert text.endswith(r"\end{tabular}")
+        assert text.count(r"\hline") == 3
+
+
+class TestWanTable:
+    def test_contains_measured_values(self):
+        result = characterize_profile(samples=3000, seed=1)
+        text = latex_wan_table(result)
+        assert "Mean one-way delay" in text
+        assert r"\%" in text  # escaped percent in the loss row
+        assert text.count(r"\\") == 6
+
+
+class TestFigureGrid:
+    DATA = {"Arima": {"CI_low": 0.5}, "Mean": {"CI_low": 0.6, "JAC_high": 0.7}}
+
+    def test_grid_layout(self):
+        text = latex_figure_grid(self.DATA, "T_D per combination")
+        assert r"\begin{table}" in text and r"\caption" in text
+        assert "500.0" in text and "700.0" in text
+        assert "--" in text  # missing cells
+
+    def test_caption_escaped(self):
+        text = latex_figure_grid(self.DATA, "T_D (50% load & more)")
+        assert r"\%" in text and r"\&" in text
+
+    def test_underscored_names_escaped(self):
+        text = latex_figure_grid(self.DATA, "x")
+        assert r"CI\_low" in text
+
+    def test_custom_axes(self):
+        text = latex_figure_grid(
+            self.DATA, "x", predictors=["Arima"], margins=["CI_low"]
+        )
+        assert "Mean" not in text
+        assert "JAC" not in text
+
+    def test_probability_scaling(self):
+        data = {"Arima": {"CI_low": 0.999}}
+        text = latex_figure_grid(data, "P_A", scale=1.0, decimals=4)
+        assert "0.9990" in text

@@ -1,0 +1,94 @@
+"""Tests for the loss models."""
+
+import numpy as np
+import pytest
+
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+def drop_rate(model, count=50000):
+    return sum(model.drops(float(i)) for i in range(count)) / count
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        assert not any(model.drops(float(i)) for i in range(1000))
+
+
+class TestBernoulliLoss:
+    def test_zero_probability_never_drops(self, rng):
+        assert drop_rate(BernoulliLoss(rng, 0.0), 1000) == 0.0
+
+    def test_one_probability_always_drops(self, rng):
+        assert drop_rate(BernoulliLoss(rng, 1.0), 1000) == 1.0
+
+    def test_rate_matches_probability(self, rng):
+        assert drop_rate(BernoulliLoss(rng, 0.05)) == pytest.approx(0.05, rel=0.1)
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BernoulliLoss(rng, 1.5)
+        with pytest.raises(ValueError):
+            BernoulliLoss(rng, -0.1)
+
+    def test_drops_are_independent(self, rng):
+        model = BernoulliLoss(rng, 0.5)
+        outcomes = np.array([model.drops(float(i)) for i in range(50000)])
+        # Lag-1 correlation of an independent sequence is ~0.
+        centred = outcomes.astype(float) - outcomes.mean()
+        lag1 = np.dot(centred[:-1], centred[1:]) / np.dot(centred, centred)
+        assert abs(lag1) < 0.02
+
+
+class TestGilbertElliottLoss:
+    def test_steady_state_rate_formula(self, rng):
+        model = GilbertElliottLoss(
+            rng, p_good_to_bad=0.002, p_bad_to_good=0.3,
+            loss_good=0.0005, loss_bad=0.75,
+        )
+        expected = model.steady_state_loss_rate()
+        assert expected == pytest.approx(0.00547, rel=0.01)
+
+    def test_observed_rate_matches_steady_state(self, rng):
+        model = GilbertElliottLoss(
+            rng, p_good_to_bad=0.01, p_bad_to_good=0.2,
+            loss_good=0.0, loss_bad=1.0,
+        )
+        observed = drop_rate(model, 200000)
+        assert observed == pytest.approx(model.steady_state_loss_rate(), rel=0.1)
+
+    def test_losses_are_bursty(self, rng):
+        model = GilbertElliottLoss(
+            rng, p_good_to_bad=0.01, p_bad_to_good=0.2,
+            loss_good=0.0, loss_bad=1.0,
+        )
+        outcomes = np.array([model.drops(float(i)) for i in range(200000)]).astype(float)
+        centred = outcomes - outcomes.mean()
+        lag1 = np.dot(centred[:-1], centred[1:]) / np.dot(centred, centred)
+        # Markov-modulated losses must be positively correlated.
+        assert lag1 > 0.3
+
+    def test_never_transitions_when_probabilities_zero(self, rng):
+        model = GilbertElliottLoss(
+            rng, p_good_to_bad=0.0, p_bad_to_good=0.0,
+            loss_good=0.0, loss_bad=1.0,
+        )
+        assert drop_rate(model, 1000) == 0.0
+        assert model.steady_state_loss_rate() == 0.0
+
+    def test_reset_returns_to_good_state(self, rng):
+        model = GilbertElliottLoss(
+            rng, p_good_to_bad=1.0, p_bad_to_good=0.0,
+            loss_good=0.0, loss_bad=1.0,
+        )
+        model.drops(0.0)
+        assert model.in_bad_state
+        model.reset()
+        assert not model.in_bad_state
+
+    def test_invalid_probabilities_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(rng, p_good_to_bad=1.5, p_bad_to_good=0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(rng, 0.1, 0.1, loss_bad=2.0)

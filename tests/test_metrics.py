@@ -1,0 +1,255 @@
+"""Tests for QoS metric extraction (T_D, T_M, T_MR, P_A).
+
+These tests build synthetic event logs with known ground truth and verify
+the interval algebra of :func:`repro.nekostat.metrics.extract_qos`,
+including the tricky cases: suspicions that become permanent detections,
+suspicions corrected during a crash by stale heartbeats, undetected
+crashes, and open intervals at the end of a run.
+"""
+
+import math
+
+import pytest
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.metrics import extract_qos
+
+
+def build_log(entries):
+    """entries: list of (time, kind, detector-or-None)."""
+    log = EventLog()
+    for time, kind, detector in sorted(entries, key=lambda e: e[0]):
+        site = "monitor" if detector else "monitored"
+        log.append(StatEvent(time=time, kind=kind, site=site, detector=detector))
+    return log
+
+
+S, E = EventKind.START_SUSPECT, EventKind.END_SUSPECT
+C, R = EventKind.CRASH, EventKind.RESTORE
+
+
+class TestDetectionTime:
+    def test_simple_detection(self):
+        log = build_log([
+            (10.0, C, None),
+            (11.2, S, "fd"),
+            (40.0, R, None),
+            (40.3, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.td_samples == pytest.approx([1.2])
+        assert qos.undetected_crashes == 0
+
+    def test_td_upper_is_max(self):
+        log = build_log([
+            (10.0, C, None), (11.0, S, "fd"), (20.0, R, None), (20.1, E, "fd"),
+            (50.0, C, None), (53.0, S, "fd"), (60.0, R, None), (60.1, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.t_d_upper == pytest.approx(3.0)
+        assert qos.t_d.mean == pytest.approx(2.0)
+
+    def test_suspicion_started_before_crash_gives_zero_td(self):
+        # A false positive in progress at crash time persists until repair:
+        # detection was effectively immediate.
+        log = build_log([
+            (9.0, S, "fd"),
+            (10.0, C, None),
+            (40.0, R, None),
+            (40.2, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.td_samples == pytest.approx([0.0])
+        # And it is NOT double-counted as a mistake.
+        assert qos.mistakes == []
+
+    def test_suspicion_corrected_during_crash_not_permanent(self):
+        # A stale in-flight heartbeat ends the first suspicion mid-crash;
+        # the second suspicion is the permanent one.
+        log = build_log([
+            (10.0, C, None),
+            (11.0, S, "fd"),
+            (12.0, E, "fd"),   # stale heartbeat arrived during the crash
+            (13.5, S, "fd"),
+            (40.0, R, None),
+            (40.2, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.td_samples == pytest.approx([3.5])
+        # The corrected suspicion started while crashed: not a mistake.
+        assert qos.mistakes == []
+
+    def test_undetected_crash_counted(self):
+        log = build_log([
+            (10.0, C, None),
+            (12.0, R, None),  # repaired before any suspicion
+        ])
+        qos = extract_qos(log, end_time=100.0, detectors=["fd"])["fd"]
+        assert qos.undetected_crashes == 1
+        assert qos.td_samples == []
+        assert qos.t_d is None
+        assert qos.t_d_upper is None
+
+    def test_open_suspicion_at_end_detects_open_crash(self):
+        log = build_log([
+            (90.0, C, None),
+            (91.5, S, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.td_samples == pytest.approx([1.5])
+
+    def test_multiple_crashes_one_sample_each(self):
+        entries = []
+        for k in range(5):
+            base = 100.0 * k
+            entries += [
+                (base + 10.0, C, None),
+                (base + 11.0 + 0.1 * k, S, "fd"),
+                (base + 40.0, R, None),
+                (base + 40.2, E, "fd"),
+            ]
+        qos = extract_qos(build_log(entries), end_time=500.0)["fd"]
+        assert len(qos.td_samples) == 5
+        assert qos.td_samples == pytest.approx([1.0, 1.1, 1.2, 1.3, 1.4])
+
+
+class TestMistakes:
+    def test_false_positive_is_mistake(self):
+        log = build_log([
+            (5.0, S, "fd"),
+            (5.4, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert len(qos.mistakes) == 1
+        assert qos.mistakes[0].duration == pytest.approx(0.4)
+        assert qos.t_m.mean == pytest.approx(0.4)
+
+    def test_mistake_durations_averaged(self):
+        log = build_log([
+            (5.0, S, "fd"), (5.2, E, "fd"),
+            (10.0, S, "fd"), (10.6, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.t_m.mean == pytest.approx(0.4)
+
+    def test_tmr_between_mistake_starts(self):
+        log = build_log([
+            (5.0, S, "fd"), (5.2, E, "fd"),
+            (25.0, S, "fd"), (25.1, E, "fd"),
+            (65.0, S, "fd"), (65.3, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.tmr_samples == pytest.approx([20.0, 40.0])
+        assert qos.t_mr.mean == pytest.approx(30.0)
+
+    def test_single_mistake_tmr_falls_back_to_up_time(self):
+        log = build_log([(5.0, S, "fd"), (5.2, E, "fd")])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.t_mr.mean == pytest.approx(100.0)
+
+    def test_no_mistakes_tmr_none(self):
+        log = build_log([
+            (10.0, C, None), (11.0, S, "fd"), (40.0, R, None), (40.1, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.t_m is None
+        assert qos.t_mr is None
+
+    def test_open_mistake_closed_at_end_time(self):
+        log = build_log([(95.0, S, "fd")])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert len(qos.mistakes) == 1
+        assert qos.mistakes[0].duration == pytest.approx(5.0)
+
+    def test_permanent_detection_not_a_mistake(self):
+        log = build_log([
+            (5.0, S, "fd"), (5.5, E, "fd"),      # a real mistake
+            (10.0, C, None), (11.0, S, "fd"),
+            (40.0, R, None), (40.1, E, "fd"),    # the detection
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert len(qos.mistakes) == 1
+        assert qos.mistakes[0].start == 5.0
+
+
+class TestAccuracy:
+    def test_pa_formula(self):
+        # T_M mean = 1.0, T_MR mean = 10.0 -> P_A = 0.9.
+        log = build_log([
+            (10.0, S, "fd"), (11.0, E, "fd"),
+            (20.0, S, "fd"), (21.0, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.p_a == pytest.approx(0.9)
+
+    def test_pa_one_when_mistake_free(self):
+        log = build_log([
+            (10.0, C, None), (11.0, S, "fd"), (40.0, R, None), (40.1, E, "fd"),
+        ])
+        assert extract_qos(log, end_time=100.0)["fd"].p_a == 1.0
+
+    def test_empirical_pa_counts_suspected_up_time(self):
+        # 2 s of false suspicion in 100 s of up-time (no crashes).
+        log = build_log([(10.0, S, "fd"), (12.0, E, "fd")])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.empirical_p_a == pytest.approx(0.98)
+
+    def test_empirical_pa_excludes_crash_periods(self):
+        # Permanent detection during a 30 s crash must not count against
+        # availability; only the 1 s of pre-repair... the detection interval
+        # [11, 40.1] overlaps up-time only in [40.0, 40.1].
+        log = build_log([
+            (10.0, C, None), (11.0, S, "fd"), (40.0, R, None), (40.1, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.up_time == pytest.approx(70.0)
+        assert qos.suspected_up_time == pytest.approx(0.1)
+
+    def test_mistake_rate(self):
+        log = build_log([
+            (10.0, S, "fd"), (10.1, E, "fd"),
+            (20.0, S, "fd"), (20.1, E, "fd"),
+        ])
+        qos = extract_qos(log, end_time=100.0)["fd"]
+        assert qos.mistake_rate == pytest.approx(2 / 100.0)
+
+
+class TestMultipleDetectors:
+    def test_detectors_isolated(self):
+        log = build_log([
+            (5.0, S, "a"), (5.5, E, "a"),
+            (10.0, C, None),
+            (11.0, S, "a"), (12.0, S, "b"),
+            (40.0, R, None),
+            (40.1, E, "a"), (40.2, E, "b"),
+        ])
+        qos = extract_qos(log, end_time=100.0)
+        assert qos["a"].td_samples == pytest.approx([1.0])
+        assert qos["b"].td_samples == pytest.approx([2.0])
+        assert len(qos["a"].mistakes) == 1
+        assert len(qos["b"].mistakes) == 0
+
+    def test_detector_filter(self):
+        log = build_log([(5.0, S, "a"), (5.5, E, "a")])
+        qos = extract_qos(log, end_time=10.0, detectors=["a", "ghost"])
+        assert set(qos) == {"a", "ghost"}
+        assert qos["ghost"].mistakes == []
+
+
+class TestMalformedLogs:
+    def test_double_start_rejected(self):
+        log = build_log([(1.0, S, "fd"), (2.0, S, "fd")])
+        with pytest.raises(ValueError):
+            extract_qos(log, end_time=10.0)
+
+    def test_end_without_start_rejected(self):
+        log = build_log([(1.0, E, "fd")])
+        with pytest.raises(ValueError):
+            extract_qos(log, end_time=10.0)
+
+    def test_empty_log(self):
+        qos = extract_qos(EventLog(), end_time=10.0, detectors=["fd"])["fd"]
+        assert qos.td_samples == []
+        assert qos.p_a == 1.0
+        assert qos.up_time == 10.0

@@ -1,0 +1,107 @@
+"""Tests for events and the event log."""
+
+import pytest
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+
+
+def suspect(time, detector="fd", kind=EventKind.START_SUSPECT):
+    return StatEvent(time=time, kind=kind, site="monitor", detector=detector)
+
+
+class TestStatEvent:
+    def test_suspect_requires_detector(self):
+        with pytest.raises(ValueError):
+            StatEvent(time=0.0, kind=EventKind.START_SUSPECT, site="m")
+
+    def test_sent_requires_seq(self):
+        with pytest.raises(ValueError):
+            StatEvent(time=0.0, kind=EventKind.SENT, site="m")
+
+    def test_received_requires_seq(self):
+        with pytest.raises(ValueError):
+            StatEvent(time=0.0, kind=EventKind.RECEIVED, site="m")
+
+    def test_crash_needs_no_extras(self):
+        event = StatEvent(time=1.0, kind=EventKind.CRASH, site="monitored")
+        assert event.detector is None
+
+    def test_frozen(self):
+        event = StatEvent(time=1.0, kind=EventKind.CRASH, site="m")
+        with pytest.raises(AttributeError):
+            event.time = 2.0  # type: ignore[misc]
+
+
+class TestEventLog:
+    def test_append_and_iterate(self, event_log):
+        event_log.append(suspect(1.0))
+        event_log.append(suspect(2.0, kind=EventKind.END_SUSPECT))
+        assert len(event_log) == 2
+        assert [e.time for e in event_log] == [1.0, 2.0]
+
+    def test_rejects_time_regression(self, event_log):
+        event_log.append(suspect(2.0))
+        with pytest.raises(ValueError):
+            event_log.append(suspect(1.0))
+
+    def test_equal_times_allowed(self, event_log):
+        event_log.append(suspect(1.0, detector="a"))
+        event_log.append(suspect(1.0, detector="b"))
+        assert len(event_log) == 2
+
+    def test_filter_by_kind(self, event_log):
+        event_log.append(suspect(1.0))
+        event_log.append(StatEvent(time=2.0, kind=EventKind.CRASH, site="q"))
+        crashes = event_log.filter(kind=EventKind.CRASH)
+        assert len(crashes) == 1 and crashes[0].time == 2.0
+
+    def test_filter_by_detector(self, event_log):
+        event_log.append(suspect(1.0, detector="a"))
+        event_log.append(suspect(2.0, detector="b"))
+        assert len(event_log.filter(detector="a")) == 1
+
+    def test_filter_by_site(self, event_log):
+        event_log.append(StatEvent(time=1.0, kind=EventKind.CRASH, site="q"))
+        event_log.append(StatEvent(time=2.0, kind=EventKind.CRASH, site="r"))
+        assert len(event_log.filter(site="q")) == 1
+
+    def test_detectors_sorted_unique(self, event_log):
+        event_log.append(suspect(1.0, detector="b"))
+        event_log.append(suspect(2.0, detector="a"))
+        event_log.append(suspect(3.0, detector="b", kind=EventKind.END_SUSPECT))
+        assert event_log.detectors() == ["a", "b"]
+
+    def test_subscribers_notified(self, event_log):
+        seen = []
+        event_log.subscribe(seen.append)
+        event = suspect(1.0)
+        event_log.append(event)
+        assert seen == [event]
+
+    def test_crash_intervals_pairs(self, event_log):
+        event_log.append(StatEvent(time=1.0, kind=EventKind.CRASH, site="q"))
+        event_log.append(StatEvent(time=2.0, kind=EventKind.RESTORE, site="q"))
+        event_log.append(StatEvent(time=5.0, kind=EventKind.CRASH, site="q"))
+        event_log.append(StatEvent(time=6.0, kind=EventKind.RESTORE, site="q"))
+        assert event_log.crash_intervals() == [(1.0, 2.0), (5.0, 6.0)]
+
+    def test_open_crash_closed_at_end_time(self, event_log):
+        event_log.append(StatEvent(time=3.0, kind=EventKind.CRASH, site="q"))
+        assert event_log.crash_intervals(end_time=10.0) == [(3.0, 10.0)]
+
+    def test_double_crash_rejected(self, event_log):
+        event_log.append(StatEvent(time=1.0, kind=EventKind.CRASH, site="q"))
+        event_log.append(StatEvent(time=2.0, kind=EventKind.CRASH, site="q"))
+        with pytest.raises(ValueError):
+            event_log.crash_intervals()
+
+    def test_restore_without_crash_rejected(self, event_log):
+        event_log.append(StatEvent(time=1.0, kind=EventKind.RESTORE, site="q"))
+        with pytest.raises(ValueError):
+            event_log.crash_intervals()
+
+    def test_getitem(self, event_log):
+        event_log.append(suspect(1.0))
+        assert event_log[0].time == 1.0
+        assert event_log[-1].time == 1.0

@@ -1,0 +1,133 @@
+"""Tests for event-log persistence."""
+
+import pytest
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.metrics import extract_qos
+from repro.nekostat.persist import (
+    StreamingEventWriter,
+    event_from_json,
+    event_to_json,
+    iter_events,
+    load_event_log,
+    save_event_log,
+)
+
+
+def sample_log():
+    log = EventLog()
+    log.append(StatEvent(time=1.0, kind=EventKind.SENT, site="q", seq=0,
+                         local_time=1.0))
+    log.append(StatEvent(time=1.2, kind=EventKind.RECEIVED, site="p", seq=0))
+    log.append(StatEvent(time=10.0, kind=EventKind.CRASH, site="q"))
+    log.append(StatEvent(time=11.0, kind=EventKind.START_SUSPECT, site="p",
+                         detector="fd", data={"timeout": 0.3}))
+    log.append(StatEvent(time=40.0, kind=EventKind.RESTORE, site="q"))
+    log.append(StatEvent(time=40.2, kind=EventKind.END_SUSPECT, site="p",
+                         detector="fd", data={"timeout": 0.31}))
+    return log
+
+
+class TestJsonRoundtrip:
+    def test_every_field_preserved(self):
+        original = StatEvent(
+            time=1.5, kind=EventKind.START_SUSPECT, site="p",
+            detector="fd", local_time=1.49, data={"timeout": 0.3},
+        )
+        restored = event_from_json(event_to_json(original))
+        assert restored == original
+
+    def test_optional_fields_omitted(self):
+        event = StatEvent(time=1.0, kind=EventKind.CRASH, site="monitored")
+        line = event_to_json(event)
+        assert '"d":' not in line and '"q":' not in line and '"x":' not in line
+        assert event_from_json(line) == event
+
+    def test_seq_roundtrip(self):
+        event = StatEvent(time=1.0, kind=EventKind.SENT, site="q", seq=42)
+        assert event_from_json(event_to_json(event)).seq == 42
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        log = sample_log()
+        path = tmp_path / "events.jsonl"
+        written = save_event_log(log, path)
+        assert written == len(log)
+        restored = load_event_log(path)
+        assert len(restored) == len(log)
+        assert list(restored) == list(log)
+
+    def test_qos_identical_after_roundtrip(self, tmp_path):
+        log = sample_log()
+        path = tmp_path / "events.jsonl"
+        save_event_log(log, path)
+        restored = load_event_log(path)
+        original_qos = extract_qos(log, end_time=50.0)["fd"]
+        restored_qos = extract_qos(restored, end_time=50.0)["fd"]
+        assert restored_qos.td_samples == original_qos.td_samples
+        assert restored_qos.p_a == original_qos.p_a
+
+    def test_iter_events_streams(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        save_event_log(sample_log(), path)
+        kinds = [event.kind for event in iter_events(path)]
+        assert kinds[0] is EventKind.SENT
+        assert kinds[-1] is EventKind.END_SUSPECT
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            event_to_json(StatEvent(time=1.0, kind=EventKind.CRASH, site="q"))
+            + "\n\n"
+        )
+        assert len(list(iter_events(path))) == 1
+
+    def test_corrupt_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"t": 1.0}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            list(iter_events(path))
+
+
+class TestStreamingWriter:
+    def test_writes_live_events(self, tmp_path):
+        log = EventLog()
+        path = tmp_path / "stream.jsonl"
+        with StreamingEventWriter(log, path) as writer:
+            log.append(StatEvent(time=1.0, kind=EventKind.CRASH, site="q"))
+            log.append(StatEvent(time=2.0, kind=EventKind.RESTORE, site="q"))
+        assert writer.written == 2
+        restored = load_event_log(path)
+        assert len(restored) == 2
+
+    def test_events_after_close_ignored(self, tmp_path):
+        log = EventLog()
+        path = tmp_path / "stream.jsonl"
+        writer = StreamingEventWriter(log, path)
+        log.append(StatEvent(time=1.0, kind=EventKind.CRASH, site="q"))
+        writer.close()
+        log.append(StatEvent(time=2.0, kind=EventKind.RESTORE, site="q"))
+        assert writer.written == 1
+        assert len(load_event_log(path)) == 1
+
+    def test_close_idempotent(self, tmp_path):
+        writer = StreamingEventWriter(EventLog(), tmp_path / "s.jsonl")
+        writer.close()
+        writer.close()
+
+    def test_full_experiment_roundtrip(self, tmp_path):
+        from repro.experiments.runner import run_qos_experiment
+        from repro.neko.config import ExperimentConfig
+
+        config = ExperimentConfig(num_cycles=400, mttc=60.0, ttr=12.0, seed=5)
+        result = run_qos_experiment(config, ["Last+JAC_med"])
+        path = tmp_path / "run.jsonl"
+        save_event_log(result.event_log, path)
+        offline = extract_qos(
+            load_event_log(path), end_time=config.duration
+        )["Last+JAC_med"]
+        online = result.qos["Last+JAC_med"]
+        assert offline.td_samples == online.td_samples
+        assert len(offline.mistakes) == len(online.mistakes)

@@ -1,0 +1,188 @@
+"""Tests for the five delay predictors (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.fd.predictors import (
+    ArimaPredictor,
+    LastPredictor,
+    LpfPredictor,
+    MeanPredictor,
+    WinMeanPredictor,
+)
+
+
+class TestLast:
+    def test_predicts_last_observation(self):
+        predictor = LastPredictor()
+        predictor.observe(0.1)
+        predictor.observe(0.3)
+        assert predictor.predict() == 0.3
+
+    def test_initial_prediction(self):
+        assert LastPredictor(initial_prediction=0.5).predict() == 0.5
+
+    def test_reset(self):
+        predictor = LastPredictor()
+        predictor.observe(0.2)
+        predictor.reset()
+        assert predictor.predict() == 0.0
+        assert predictor.observations == 0
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            LastPredictor().observe(float("nan"))
+
+
+class TestMean:
+    def test_predicts_running_mean(self):
+        predictor = MeanPredictor()
+        for value in [0.1, 0.2, 0.3]:
+            predictor.observe(value)
+        assert predictor.predict() == pytest.approx(0.2)
+
+    def test_matches_numpy_over_long_series(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.1, 0.3, 10000)
+        predictor = MeanPredictor()
+        for value in values:
+            predictor.observe(value)
+        assert predictor.predict() == pytest.approx(values.mean())
+
+    def test_single_observation(self):
+        predictor = MeanPredictor()
+        predictor.observe(0.25)
+        assert predictor.predict() == 0.25
+
+
+class TestWinMean:
+    def test_equals_mean_while_underfull(self):
+        # Paper: "If n < N, WINMEAN(N) = MEAN".
+        winmean = WinMeanPredictor(window=10)
+        mean = MeanPredictor()
+        for value in [0.1, 0.2, 0.4]:
+            winmean.observe(value)
+            mean.observe(value)
+        assert winmean.predict() == pytest.approx(mean.predict())
+
+    def test_windows_out_old_values(self):
+        predictor = WinMeanPredictor(window=2)
+        for value in [10.0, 0.1, 0.3]:
+            predictor.observe(value)
+        assert predictor.predict() == pytest.approx(0.2)
+
+    def test_window_of_one_is_last(self):
+        predictor = WinMeanPredictor(window=1)
+        predictor.observe(0.1)
+        predictor.observe(0.9)
+        assert predictor.predict() == 0.9
+
+    def test_matches_numpy_sliding_mean(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0.1, 0.3, 500)
+        predictor = WinMeanPredictor(window=10)
+        for value in values:
+            predictor.observe(value)
+        assert predictor.predict() == pytest.approx(values[-10:].mean())
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WinMeanPredictor(window=0)
+
+    def test_reset(self):
+        predictor = WinMeanPredictor(window=3)
+        predictor.observe(0.5)
+        predictor.reset()
+        predictor.observe(0.1)
+        assert predictor.predict() == 0.1
+
+
+class TestLpf:
+    def test_exponential_smoothing_formula(self):
+        predictor = LpfPredictor(beta=0.125)
+        predictor.observe(0.2)      # seeds the estimate
+        predictor.observe(0.4)
+        expected = 0.2 + 0.125 * (0.4 - 0.2)
+        assert predictor.predict() == pytest.approx(expected)
+
+    def test_beta_one_tracks_last(self):
+        predictor = LpfPredictor(beta=1.0)
+        predictor.observe(0.1)
+        predictor.observe(0.7)
+        assert predictor.predict() == pytest.approx(0.7)
+
+    def test_converges_to_constant_input(self):
+        predictor = LpfPredictor(beta=0.125)
+        for _ in range(200):
+            predictor.observe(0.25)
+        assert predictor.predict() == pytest.approx(0.25)
+
+    def test_smooths_alternating_input(self):
+        predictor = LpfPredictor(beta=0.125)
+        for i in range(1000):
+            predictor.observe(0.1 if i % 2 == 0 else 0.3)
+        assert predictor.predict() == pytest.approx(0.2, abs=0.02)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            LpfPredictor(beta=0.0)
+        with pytest.raises(ValueError):
+            LpfPredictor(beta=1.5)
+
+    def test_reset(self):
+        predictor = LpfPredictor()
+        predictor.observe(0.9)
+        predictor.reset()
+        predictor.observe(0.1)
+        assert predictor.predict() == pytest.approx(0.1)
+
+
+class TestArimaPredictor:
+    def test_paper_default_order(self):
+        assert ArimaPredictor().order == (2, 1, 1)
+
+    def test_degrades_to_last_before_fit(self):
+        predictor = ArimaPredictor(initial_fit=200)
+        predictor.observe(0.21)
+        assert predictor.predict() == pytest.approx(0.21)
+
+    def test_tracks_level_after_fit(self):
+        rng = np.random.default_rng(2)
+        predictor = ArimaPredictor(initial_fit=100, refit_interval=200)
+        for _ in range(500):
+            predictor.observe(0.2 + rng.normal(0, 0.002))
+        assert predictor.predict() == pytest.approx(0.2, abs=0.01)
+
+    def test_forecaster_accessible(self):
+        predictor = ArimaPredictor()
+        assert predictor.forecaster.p == 2
+
+    def test_reset(self):
+        predictor = ArimaPredictor(initial_fit=50)
+        for _ in range(100):
+            predictor.observe(0.2)
+        predictor.reset()
+        assert predictor.predict() == 0.0
+        assert predictor.observations == 0
+
+
+class TestO1Complexity:
+    """The paper notes all methods run in O(1) per observation; guard the
+    implementations against accidental O(n) (e.g. recomputing MEAN from a
+    stored list)."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [LastPredictor, MeanPredictor, lambda: WinMeanPredictor(10),
+         lambda: LpfPredictor(0.125)],
+    )
+    def test_long_run_is_fast(self, factory):
+        import time
+
+        predictor = factory()
+        start = time.perf_counter()
+        for i in range(200_000):
+            predictor.observe(0.2)
+            predictor.predict()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0  # generous: O(n^2) would take minutes

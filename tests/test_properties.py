@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd.combinations import make_margin, make_predictor, make_strategy
+from repro.fd.predictors import (
+    LastPredictor,
+    LpfPredictor,
+    MeanPredictor,
+    WinMeanPredictor,
+)
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.metrics import extract_qos
+from repro.nekostat.stats import Welford, summarize
+from repro.sim.engine import Simulator
+from repro.timeseries.arima import difference, undifference_forecast
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=200
+)
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPredictorProperties:
+    @given(delays)
+    def test_mean_predictor_equals_numpy_mean(self, values):
+        predictor = MeanPredictor()
+        for value in values:
+            predictor.observe(value)
+        assert predictor.predict() == pytest_approx(np.mean(values))
+
+    @given(delays, st.integers(min_value=1, max_value=50))
+    def test_winmean_equals_tail_mean(self, values, window):
+        predictor = WinMeanPredictor(window=window)
+        for value in values:
+            predictor.observe(value)
+        assert predictor.predict() == pytest_approx(np.mean(values[-window:]))
+
+    @given(delays)
+    def test_last_predictor_is_last(self, values):
+        predictor = LastPredictor()
+        for value in values:
+            predictor.observe(value)
+        assert predictor.predict() == values[-1]
+
+    @given(delays)
+    def test_lpf_bounded_by_observation_range(self, values):
+        predictor = LpfPredictor(beta=0.125)
+        for value in values:
+            predictor.observe(value)
+        assert min(values) - 1e-9 <= predictor.predict() <= max(values) + 1e-9
+
+    @given(delays)
+    def test_predictions_always_finite(self, values):
+        for name in ("Last", "Mean", "WinMean", "LPF"):
+            predictor = make_predictor(name)
+            for value in values:
+                predictor.observe(value)
+                assert math.isfinite(predictor.predict())
+
+
+class TestMarginProperties:
+    @given(delays)
+    def test_margins_never_negative(self, values):
+        for name in ("CI_low", "CI_high", "JAC_low", "JAC_high"):
+            margin = make_margin(name)
+            prediction = 0.0
+            for value in values:
+                margin.update(value, prediction)
+                prediction = value
+                assert margin.current() >= 0.0
+
+    @given(delays)
+    def test_ci_margin_monotone_in_gamma(self, values):
+        low = make_margin("CI_low")
+        high = make_margin("CI_high")
+        for value in values:
+            low.update(value, 0.0)
+            high.update(value, 0.0)
+        assert high.current() >= low.current() - 1e-12
+
+    @given(delays)
+    def test_jac_margin_monotone_in_phi(self, values):
+        low = make_margin("JAC_low")
+        high = make_margin("JAC_high")
+        prediction = 0.0
+        for value in values:
+            low.update(value, prediction)
+            high.update(value, prediction)
+            prediction = value
+        assert high.current() >= low.current() - 1e-12
+
+    @given(delays)
+    def test_timeout_never_negative(self, values):
+        strategy = make_strategy("Last", "JAC_med")
+        for value in values:
+            strategy.observe(value)
+            assert strategy.timeout() >= 0.0
+
+
+class TestStatsProperties:
+    @given(st.lists(finite_floats, min_size=2, max_size=500))
+    def test_welford_matches_numpy(self, values):
+        acc = Welford()
+        for value in values:
+            acc.add(value)
+        assert acc.mean == pytest_approx(np.mean(values), abs_tol=1e-6)
+        assert acc.variance == pytest_approx(np.var(values, ddof=1), abs_tol=1e-4)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_summary_bounds(self, values):
+        stats = summarize(values)
+        # Tolerance: np.mean of N identical values can differ from them in
+        # the last ulp after the sum-and-divide round trip.
+        slack = 1e-9 * (1.0 + abs(stats.mean))
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.std >= 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_ci_contains_sample_mean(self, values):
+        stats = summarize(values)
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+
+class TestDifferencingProperties:
+    @given(
+        st.lists(finite_floats, min_size=4, max_size=50),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_undifference_inverts_difference(self, values, d):
+        if len(values) <= d:
+            return
+        w = difference(values, d)
+        if w.size == 0:
+            return
+        reconstructed = undifference_forecast(float(w[-1]), values[:-1], d)
+        assert reconstructed == pytest_approx(values[-1], abs_tol=1e-6 * (1 + abs(values[-1])))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_difference_reduces_length_by_one(self, values):
+        assert difference(values, 1).size == len(values) - 1
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_events_always_fire_in_nondecreasing_time_order(self, offsets):
+        simulator = Simulator()
+        fired = []
+        for offset in offsets:
+            simulator.schedule(offset, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(offsets)
+
+
+class TestMetricsProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=999.0, allow_nan=False),
+                st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_mistake_algebra_consistent(self, raw_intervals):
+        """For arbitrary non-overlapping suspicion intervals with no
+        crashes, every interval is a mistake, T_MR entries equal start
+        diffs, and empirical availability matches total duration."""
+        end_time = 2000.0
+        log = EventLog()
+        cursor = 0.0
+        intervals = []
+        for gap, duration in raw_intervals:
+            start = cursor + gap + 0.001
+            end = start + duration
+            if end >= end_time:
+                break
+            intervals.append((start, end))
+            cursor = end
+        for start, end in intervals:
+            log.append(StatEvent(time=start, kind=EventKind.START_SUSPECT,
+                                 site="m", detector="fd"))
+            log.append(StatEvent(time=end, kind=EventKind.END_SUSPECT,
+                                 site="m", detector="fd"))
+        qos = extract_qos(log, end_time=end_time, detectors=["fd"])["fd"]
+        assert len(qos.mistakes) == len(intervals)
+        assert qos.undetected_crashes == 0
+        total = sum(e - s for s, e in intervals)
+        assert qos.suspected_up_time == pytest_approx(total, abs_tol=1e-6)
+        if len(intervals) >= 2:
+            expected = [b[0] - a[0] for a, b in zip(intervals, intervals[1:])]
+            assert qos.tmr_samples == pytest_approx_list(expected)
+        assert 0.0 <= qos.p_a <= 1.0
+        assert 0.0 <= qos.empirical_p_a <= 1.0
+
+
+def pytest_approx(value, abs_tol=1e-9):
+    import pytest
+
+    return pytest.approx(value, abs=abs_tol, rel=1e-9)
+
+
+def pytest_approx_list(values):
+    import pytest
+
+    return pytest.approx(values, abs=1e-9)

@@ -1,0 +1,64 @@
+"""Tests for named random streams."""
+
+import pytest
+
+from repro.sim.random import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).get("wan.delay")
+        b = RandomStreams(7).get("wan.delay")
+        assert a.random() == b.random()
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        a = streams.get("alpha").random(1000)
+        b = streams.get("beta").random(1000)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").random()
+        b = RandomStreams(2).get("x").random()
+        assert a != b
+
+    def test_stream_object_is_cached(self):
+        streams = RandomStreams(3)
+        assert streams.get("x") is streams.get("x")
+
+    def test_creation_order_does_not_matter(self):
+        forward = RandomStreams(9)
+        forward.get("a")
+        value_b_after_a = forward.get("b").random()
+        backward = RandomStreams(9)
+        value_b_first = backward.get("b").random()
+        assert value_b_after_a == value_b_first
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).get("")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("seed")  # type: ignore[arg-type]
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(5)
+        streams.get("one")
+        streams.get("two")
+        assert set(streams.names()) == {"one", "two"}
+
+    def test_spawn_derives_independent_child(self):
+        parent = RandomStreams(11)
+        child = parent.spawn("run-1")
+        assert child.seed != parent.seed
+        assert child.get("x").random() != parent.get("x").random()
+
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(11).spawn("run-1").get("x").random()
+        b = RandomStreams(11).spawn("run-1").get("x").random()
+        assert a == b
+
+    def test_spawn_different_names_differ(self):
+        parent = RandomStreams(11)
+        assert parent.spawn("run-1").seed != parent.spawn("run-2").seed

@@ -1,0 +1,154 @@
+"""Tests for Timer and PeriodicTimer."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_at_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_arm_at_absolute(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm_at(4.0)
+        sim.run()
+        assert fired == [4.0]
+
+    def test_rearm_replaces_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(5.0)
+        timer.arm(1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_rearm_extends_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(1.0)
+        timer.arm(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(True))
+        timer.arm(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_unarmed_is_noop(self, sim):
+        Timer(sim, lambda: None).cancel()
+
+    def test_armed_and_deadline_properties(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.deadline is None
+        timer.arm(3.0)
+        assert timer.armed
+        assert timer.deadline == 3.0
+
+    def test_not_armed_after_firing(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.arm(1.0)
+        sim.run()
+        assert not timer.armed
+
+    def test_rearm_from_callback(self, sim):
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.arm(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.arm(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self, sim):
+        timer = Timer(sim, lambda: None)
+        with pytest.raises(SimulationError):
+            timer.arm(-1.0)
+
+
+class TestPeriodicTimer:
+    def test_ticks_at_multiples_of_period(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 2.0, lambda k: ticks.append((k, sim.now)))
+        timer.start()
+        sim.run(until=7.0)
+        assert ticks == [(0, 0.0), (1, 2.0), (2, 4.0), (3, 6.0)]
+
+    def test_tick_numbers_are_sequence_numbers(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, ticks.append)
+        timer.start()
+        sim.run(until=4.5)
+        assert ticks == [0, 1, 2, 3, 4]
+
+    def test_no_cumulative_float_drift(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 0.1, lambda k: times.append(sim.now))
+        timer.start()
+        sim.run(until=100.0)
+        # The 1000th tick must land exactly on 0.1 * 1000, not accumulate error.
+        assert times[1000] == pytest.approx(100.0, abs=1e-9)
+        assert len(times) == 1001
+
+    def test_stop_halts_ticks(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, ticks.append)
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [0, 1, 2]
+
+    def test_restart_skips_missed_ticks(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, ticks.append)
+        timer.start()
+        sim.schedule(1.5, timer.stop)
+        sim.schedule(4.5, timer.start)
+        sim.run(until=7.5)
+        # Ticks 2, 3, 4 elapsed while stopped; sequence resumes at 5.
+        assert ticks == [0, 1, 5, 6, 7]
+
+    def test_start_is_idempotent(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, ticks.append)
+        timer.start()
+        timer.start()
+        sim.run(until=2.5)
+        assert ticks == [0, 1, 2]
+
+    def test_custom_start_time(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda k: times.append(sim.now), start=5.0)
+        timer.start()
+        sim.run(until=7.5)
+        assert times == [5.0, 6.0, 7.0]
+
+    def test_running_property(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda k: None)
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda k: None)
+
+    def test_period_property(self, sim):
+        assert PeriodicTimer(sim, 2.5, lambda k: None).period == 2.5

@@ -1,0 +1,117 @@
+"""Tests for delay trace recording, persistence and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.net.delay import ConstantDelay, TraceDelay
+from repro.net.traces import DelayTrace, TraceRecorder
+
+
+class TestDelayTrace:
+    def test_length_and_indexing(self):
+        trace = DelayTrace([0.1, 0.2, 0.3])
+        assert len(trace) == 3
+        assert trace[1] == 0.2
+        assert list(trace) == [0.1, 0.2, 0.3]
+
+    def test_immutable(self):
+        trace = DelayTrace([0.1, 0.2])
+        with pytest.raises(ValueError):
+            trace.delays[0] = 9.9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DelayTrace([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DelayTrace([0.1, -0.1])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            DelayTrace([0.1, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            DelayTrace(np.zeros((2, 2)))
+
+    def test_summary_statistics(self):
+        trace = DelayTrace([0.1, 0.2, 0.3, 0.4])
+        summary = trace.summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.minimum == 0.1
+        assert summary.maximum == 0.4
+        assert summary.median == pytest.approx(0.25)
+        assert summary.std == pytest.approx(np.std([0.1, 0.2, 0.3, 0.4], ddof=1))
+
+    def test_summary_milliseconds(self):
+        summary = DelayTrace([0.2, 0.2]).summary().as_milliseconds()
+        assert summary.mean == pytest.approx(200.0)
+
+    def test_single_sample_std_zero(self):
+        assert DelayTrace([0.5]).summary().std == 0.0
+
+    def test_from_model_samples_at_interval(self):
+        trace = DelayTrace.from_model(TraceDelay([0.1, 0.2, 0.3]), count=3)
+        assert list(trace) == [0.1, 0.2, 0.3]
+
+    def test_from_model_invalid_count(self):
+        with pytest.raises(ValueError):
+            DelayTrace.from_model(ConstantDelay(0.1), count=0)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = DelayTrace([0.123456789, 0.2])
+        path = tmp_path / "trace.txt"
+        trace.save(path, header="test trace\nsecond line")
+        loaded = DelayTrace.load(path)
+        assert loaded.delays == pytest.approx(trace.delays)
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n\n0.1\n0.2\n")
+        assert list(DelayTrace.load(path)) == [0.1, 0.2]
+
+    def test_load_reports_bad_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0.1\nnot-a-number\n")
+        with pytest.raises(ValueError, match="2"):
+            DelayTrace.load(path)
+
+    def test_autocorrelation_of_constant_is_safe(self):
+        acf = DelayTrace([0.2] * 10).autocorrelation(3)
+        assert acf[0] == 1.0
+        assert np.all(acf[1:] == 0.0)
+
+    def test_autocorrelation_lag0_is_one(self):
+        rng = np.random.default_rng(0)
+        trace = DelayTrace(rng.uniform(0.1, 0.2, 500))
+        assert trace.autocorrelation(5)[0] == pytest.approx(1.0)
+
+    def test_autocorrelation_detects_correlation(self):
+        rng = np.random.default_rng(0)
+        level = np.repeat(rng.uniform(0.1, 0.2, 50), 20)  # 20-sample plateaus
+        trace = DelayTrace(level)
+        assert trace.autocorrelation(1)[1] > 0.8
+
+
+class TestTraceRecorder:
+    def test_records_and_freezes(self):
+        recorder = TraceRecorder()
+        recorder.record(0.1)
+        recorder.record(0.2)
+        assert len(recorder) == 2
+        assert list(recorder.trace()) == [0.1, 0.2]
+
+    def test_extend(self):
+        recorder = TraceRecorder()
+        recorder.extend([0.1, 0.2, 0.3])
+        assert len(recorder) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record(float("nan"))

@@ -1,0 +1,138 @@
+"""Integration tests for the real-network (UDP) backend.
+
+These exercise the Neko promise: the same protocol layers run over real
+sockets on localhost.  Kept small and generously timed to stay robust on
+loaded machines.
+"""
+
+import time
+
+import pytest
+
+from repro.fd.detector import PushFailureDetector
+from repro.fd.heartbeat import Heartbeater
+from repro.fd.predictors import LastPredictor
+from repro.fd.safety import ConstantMargin
+from repro.fd.timeout import TimeoutStrategy
+from repro.neko.layer import Layer, ProtocolStack
+from repro.neko.system import NekoSystem
+from repro.nekostat.events import EventKind
+from repro.nekostat.log import EventLog
+from repro.net.message import Datagram
+from repro.net.udp import UdpNetwork, WallClockScheduler
+
+from tests.conftest import RecordingLayer
+
+
+class ThreadSafeEventLog(EventLog):
+    """EventLog tolerant of wall-clock time jitter between threads."""
+
+    def append(self, event):
+        # Relax the monotonicity check: wall-clock dispatch from separate
+        # timer threads can interleave within a few ms.
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+
+@pytest.fixture
+def udp_world():
+    scheduler = WallClockScheduler()
+    network = UdpNetwork(scheduler)
+    yield scheduler, network
+    network.close()
+
+
+class TestWallClockScheduler:
+    def test_now_advances(self):
+        scheduler = WallClockScheduler()
+        first = scheduler.now
+        time.sleep(0.02)
+        assert scheduler.now > first
+
+    def test_schedule_fires(self):
+        scheduler = WallClockScheduler()
+        fired = []
+        scheduler.schedule(0.02, lambda: fired.append(True))
+        time.sleep(0.2)
+        assert fired == [True]
+
+    def test_cancel_prevents_firing(self):
+        scheduler = WallClockScheduler()
+        fired = []
+        handle = scheduler.schedule(0.05, lambda: fired.append(True))
+        handle.cancel()
+        time.sleep(0.15)
+        assert fired == []
+
+    def test_run_sleeps_until(self):
+        scheduler = WallClockScheduler()
+        scheduler.run(until=0.05)
+        assert scheduler.now >= 0.05
+
+
+class TestUdpNetwork:
+    def test_datagram_roundtrip(self, udp_world):
+        scheduler, network = udp_world
+        received = []
+        network.register("a", received.append)
+        network.register("b", lambda m: None)
+        message = Datagram(
+            source="b", destination="a", kind="heartbeat", seq=3, timestamp=1.5,
+            payload={"k": "v"},
+        )
+        network.send(message)
+        deadline = time.time() + 2.0
+        while not received and time.time() < deadline:
+            time.sleep(0.01)
+        assert len(received) == 1
+        got = received[0]
+        assert (got.source, got.destination, got.kind) == ("b", "a", "heartbeat")
+        assert got.seq == 3 and got.timestamp == 1.5 and got.payload == {"k": "v"}
+
+    def test_unknown_destination_silently_dropped(self, udp_world):
+        _, network = udp_world
+        network.register("a", lambda m: None)
+        network.send(Datagram(source="a", destination="ghost", kind="t"))
+
+    def test_duplicate_registration_rejected(self, udp_world):
+        _, network = udp_world
+        network.register("a", lambda m: None)
+        with pytest.raises(ValueError):
+            network.register("a", lambda m: None)
+
+    def test_endpoint_lookup(self, udp_world):
+        _, network = udp_world
+        network.register("a", lambda m: None)
+        host, port = network.endpoint("a")
+        assert host == "127.0.0.1" and port > 0
+
+
+class TestRealExecution:
+    def test_failure_detector_over_real_udp(self, udp_world):
+        """The Neko contract: unchanged detector layers over real sockets."""
+        scheduler, network = udp_world
+        event_log = ThreadSafeEventLog()
+        system = NekoSystem(scheduler, network)  # type: ignore[arg-type]
+
+        eta = 0.05  # fast heartbeats to keep the test short
+        heartbeater = Heartbeater("monitor", eta, event_log)
+        strategy = TimeoutStrategy(LastPredictor(), ConstantMargin(0.2))
+        detector = PushFailureDetector(
+            strategy, "monitored", eta, event_log,
+            detector_id="udp-fd", initial_timeout=1.0,
+        )
+        system.create_process("monitored", ProtocolStack([heartbeater]))
+        system.create_process("monitor", ProtocolStack([detector]))
+        system.start()
+        time.sleep(0.6)
+        heartbeater.stop()
+
+        assert detector.heartbeats_seen >= 5
+        assert not detector.suspecting
+        assert event_log.filter(kind=EventKind.START_SUSPECT) == []
+
+        # Silence (simulated crash): the detector must start suspecting.
+        time.sleep(0.8)
+        assert detector.suspecting
+        assert len(event_log.filter(kind=EventKind.START_SUSPECT)) == 1

@@ -1,0 +1,112 @@
+"""Tests for the calibrated network profiles."""
+
+import numpy as np
+import pytest
+
+from repro.net.traces import DelayTrace
+from repro.net.wan import (
+    PROFILES,
+    get_profile,
+    italy_japan_profile,
+    lan_profile,
+    mobile_profile,
+)
+from repro.sim.random import RandomStreams
+
+
+class TestRegistry:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"italy-japan", "lan", "mobile"}
+
+    def test_get_profile(self):
+        assert get_profile("lan").name == "lan"
+
+    def test_unknown_profile_lists_names(self):
+        with pytest.raises(KeyError, match="italy-japan"):
+            get_profile("mars")
+
+
+class TestItalyJapanProfile:
+    def sample(self, count=100000, seed=0):
+        profile = italy_japan_profile()
+        streams = RandomStreams(seed)
+        model = profile.build_delay_model(streams)
+        return np.array([model.sample(float(i)) for i in range(count)])
+
+    def test_table4_minimum(self):
+        delays = self.sample(20000)
+        assert delays.min() >= 0.192
+        assert delays.min() < 0.195  # the floor is actually reached
+
+    def test_table4_mean(self):
+        delays = self.sample(50000)
+        assert 0.195 < delays.mean() < 0.210  # paper: ~200 ms
+
+    def test_table4_std(self):
+        delays = self.sample(50000)
+        assert 0.004 < delays.std() < 0.010  # paper: 7.6 ms
+
+    def test_table4_maximum_spikes(self):
+        delays = self.sample(100000)
+        # Rare spikes produce a maximum in the paper's 300+ ms range.
+        assert delays.max() > 0.260
+
+    def test_delays_autocorrelated(self):
+        trace = DelayTrace(self.sample(20000))
+        assert trace.autocorrelation(1)[1] > 0.2
+
+    def test_loss_rate_below_one_percent(self):
+        profile = italy_japan_profile()
+        model = profile.build_loss_model(RandomStreams(1))
+        rate = sum(model.drops(float(i)) for i in range(100000)) / 100000
+        assert 0.0 < rate < 0.01
+
+    def test_lossless_variant(self):
+        profile = italy_japan_profile(loss=False)
+        model = profile.build_loss_model(RandomStreams(1))
+        assert not any(model.drops(float(i)) for i in range(1000))
+
+    def test_spikeless_variant_light_tail(self):
+        profile = italy_japan_profile(spikes=False)
+        model = profile.build_delay_model(RandomStreams(1))
+        delays = np.array([model.sample(float(i)) for i in range(50000)])
+        assert delays.max() < 0.25
+
+    def test_reproducible_across_instances(self):
+        a = self.sample(100, seed=5)
+        b = self.sample(100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_directions_are_independent(self):
+        profile = italy_japan_profile()
+        streams = RandomStreams(0)
+        forward = profile.build_delay_model(streams, "fwd")
+        reverse = profile.build_delay_model(streams, "rev")
+        fwd = [forward.sample(float(i)) for i in range(100)]
+        rev = [reverse.sample(float(i)) for i in range(100)]
+        assert fwd != rev
+
+    def test_nominal_metadata(self):
+        nominal = italy_japan_profile().nominal
+        assert nominal["hops"] == 18
+        assert nominal["min_ms"] == 192.0
+
+
+class TestOtherProfiles:
+    def test_lan_is_fast(self):
+        model = lan_profile().build_delay_model(RandomStreams(0))
+        delays = np.array([model.sample(float(i)) for i in range(10000)])
+        assert delays.mean() < 0.002
+
+    def test_mobile_is_slow_and_variable(self):
+        model = mobile_profile().build_delay_model(RandomStreams(0))
+        delays = np.array([model.sample(float(i)) for i in range(20000)])
+        assert delays.min() >= 0.06
+        assert delays.std() > 0.01
+
+    def test_mobile_lossier_than_wan(self):
+        mobile_loss = mobile_profile().build_loss_model(RandomStreams(0))
+        wan_loss = italy_japan_profile().build_loss_model(RandomStreams(0))
+        mobile_rate = sum(mobile_loss.drops(float(i)) for i in range(50000)) / 50000
+        wan_rate = sum(wan_loss.drops(float(i)) for i in range(50000)) / 50000
+        assert mobile_rate > wan_rate
