@@ -11,6 +11,7 @@ variable                   default    paper scale
 ``REPRO_BENCH_CYCLES``     10000      100000  (Table 5 NumCycles)
 ``REPRO_BENCH_RUNS``       3          13      (Section 5.2 runs)
 ``REPRO_BENCH_TRACE``      30000      100000  (Section 5.1 N_one_way)
+``REPRO_BENCH_WORKERS``    all cores  all cores (campaign process pool)
 =========================  =========  =====================================
 
 Every bench prints its table/figure in the paper's layout, so a benchmark
@@ -31,6 +32,10 @@ from repro.neko.config import ExperimentConfig
 BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "10000"))
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
 BENCH_TRACE = int(os.environ.get("REPRO_BENCH_TRACE", "30000"))
+#: Worker processes for the shared campaign; defaults to one per core.
+#: The parallel runner is byte-identical to the serial one, so scaling
+#: this knob never changes a bench's numbers — only its wall-clock time.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", str(os.cpu_count() or 1)))
 
 #: Experiment parameters for the shared campaign.  MTTC is scaled down
 #: from the paper's 300 s so shorter runs still collect >= 30 T_D samples
@@ -48,7 +53,7 @@ CAMPAIGN_CONFIG = ExperimentConfig(
 @pytest.fixture(scope="session")
 def campaign():
     """The pooled QoS of the full 30-detector campaign."""
-    results = run_repetitions(CAMPAIGN_CONFIG, BENCH_RUNS)
+    results = run_repetitions(CAMPAIGN_CONFIG, BENCH_RUNS, workers=BENCH_WORKERS)
     pooled = aggregate_runs(results)
     total_crashes = sum(r.crashes for r in results)
     print(

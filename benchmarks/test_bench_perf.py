@@ -1,0 +1,52 @@
+"""Bench for the performance layers: process-pool campaigns and the
+vectorized trace replay (scripts/bench_perf.py at smoke scale).
+
+Unlike the figure/table benches this one regenerates no paper artifact —
+it guards the machinery that makes paper-scale runs affordable.  The
+assertions encode the contract of docs/performance.md:
+
+* the parallel campaign runner produces byte-identical pooled QoS, and
+* the vectorized replay beats the per-observation classes by >= 10x on a
+  Section 5.1-sized trace.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_perf import format_report, run_benchmark  # noqa: E402
+
+from benchmarks.conftest import BENCH_WORKERS
+
+
+@pytest.fixture(scope="module")
+def perf_record(tmp_path_factory):
+    record = run_benchmark(
+        cycles=1500, runs=2, workers=BENCH_WORKERS, trace_len=10_000
+    )
+    out = tmp_path_factory.mktemp("perf") / "BENCH_perf.json"
+    out.write_text(json.dumps(record, indent=2))
+    print(f"\n{format_report(record)}")
+    print(f"wrote {out}")
+    return record
+
+
+def test_parallel_campaign_is_equivalent_and_measured(perf_record):
+    # run_benchmark raises if the pooled QoS diverged; here just check
+    # the timing record is well-formed.
+    campaign = perf_record["campaign"]
+    assert campaign["serial_s"] > 0
+    assert campaign["parallel_s"] > 0
+    assert campaign["speedup"] > 0
+
+
+def test_vectorized_replay_is_order_of_magnitude_faster(perf_record):
+    replay = perf_record["replay"]
+    assert replay["trace_len"] >= 9_000
+    assert replay["speedup"] >= 10.0, (
+        f"vectorized replay only {replay['speedup']:.1f}x faster"
+    )

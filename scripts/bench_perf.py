@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Performance benchmark: campaign parallelism and trace-replay speed.
+
+Times the three performance layers added for the large-scale campaigns
+(see docs/performance.md):
+
+* the serial repetition loop vs. the process-pool campaign runner
+  (``run_repetitions(..., workers=N)``),
+* the per-observation ``TimeoutStrategy`` classes vs. the vectorized
+  trace replay (``repro.fd.replay``) on a recorded delay trace,
+
+and writes the measurements to a JSON file so successive runs can be
+compared.  The parallel runner and the replay path are proven equivalent
+to their scalar counterparts by ``tests/test_parallel.py`` and
+``tests/test_replay.py``; this script only measures speed.
+
+Usage::
+
+    python scripts/bench_perf.py [--cycles 4000] [--runs 4] [--workers 0]
+                                 [--trace 30000] [--output BENCH_perf.json]
+
+``--workers 0`` means one worker per core.  On a single-core container
+the pool degenerates to one process and the campaign speed-up is ~1x
+(minus pool overhead); the replay speed-up is hardware-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.accuracy import collect_delay_trace
+from repro.experiments.runner import aggregate_runs, run_repetitions
+from repro.fd.replay import (
+    REPLAY_PREDICTORS,
+    replay_strategy,
+    replay_strategy_scalar,
+)
+from repro.neko.config import ExperimentConfig
+
+#: Detector subset for the campaign timing: one per predictor family so
+#: the run exercises every vectorizable code path without the full 30.
+CAMPAIGN_DETECTORS = ["Last+JAC_med", "Mean+CI_med", "WinMean+CI_high", "LPF+JAC_low"]
+
+REPLAY_MARGINS = ("CI_med", "JAC_med")
+
+
+def time_campaign(
+    config: ExperimentConfig, runs: int, workers: Optional[int]
+) -> Dict[str, float]:
+    """Wall-clock the serial loop and the process-pool runner."""
+    start = time.perf_counter()
+    serial = run_repetitions(config, runs, CAMPAIGN_DETECTORS, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_repetitions(config, runs, CAMPAIGN_DETECTORS, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    # Sanity: pooled QoS must be identical before the timing means anything.
+    pooled_serial = aggregate_runs(serial)
+    pooled_parallel = aggregate_runs(parallel)
+    for detector_id, aggregate in pooled_serial.items():
+        if aggregate.td_samples != pooled_parallel[detector_id].td_samples:
+            raise AssertionError(f"parallel run diverged for {detector_id}")
+
+    return {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+    }
+
+
+def time_replay(trace_len: int, seed: int = 5) -> Dict[str, object]:
+    """Wall-clock the scalar strategy classes vs. the vectorized replay."""
+    trace = collect_delay_trace(count=trace_len, seed=seed)
+    observations = trace.delays
+
+    combos = [(p, m) for p in REPLAY_PREDICTORS for m in REPLAY_MARGINS]
+
+    start = time.perf_counter()
+    for predictor_name, margin_name in combos:
+        replay_strategy_scalar(predictor_name, margin_name, observations)
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for predictor_name, margin_name in combos:
+        replay_strategy(predictor_name, margin_name, observations)
+    vector_s = time.perf_counter() - start
+
+    return {
+        "trace_len": int(observations.size),
+        "combinations": len(combos),
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+    }
+
+
+def run_benchmark(
+    *,
+    cycles: int = 4000,
+    runs: int = 4,
+    workers: Optional[int] = None,
+    trace_len: int = 30_000,
+    seed: int = 2005,
+) -> Dict[str, object]:
+    """Run both timings and return the result record."""
+    config = ExperimentConfig(
+        num_cycles=cycles,
+        mttc=120.0,
+        ttr=20.0,
+        eta=1.0,
+        profile_name="italy-japan",
+        seed=seed,
+    )
+    return {
+        "cycles": cycles,
+        "runs": runs,
+        "workers": workers if workers is not None else (os.cpu_count() or 1),
+        "cpu_count": os.cpu_count() or 1,
+        "campaign": time_campaign(config, runs, workers),
+        "replay": time_replay(trace_len),
+    }
+
+
+def format_report(record: Dict[str, object]) -> str:
+    campaign: Dict[str, float] = record["campaign"]  # type: ignore[assignment]
+    replay: Dict[str, object] = record["replay"]  # type: ignore[assignment]
+    lines = [
+        f"campaign: {record['runs']} runs x {record['cycles']} cycles, "
+        f"{len(CAMPAIGN_DETECTORS)} detectors, "
+        f"{record['workers']} workers ({record['cpu_count']} cores)",
+        f"  serial   : {campaign['serial_s']:8.2f} s",
+        f"  parallel : {campaign['parallel_s']:8.2f} s"
+        f"   ({campaign['speedup']:.2f}x)",
+        f"replay: {replay['combinations']} combinations x "
+        f"{replay['trace_len']} observations",
+        f"  scalar classes : {replay['scalar_s']:8.2f} s",
+        f"  vectorized     : {replay['vectorized_s']:8.2f} s"
+        f"   ({replay['speedup']:.1f}x)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=4000)
+    parser.add_argument("--runs", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="0 = one per core (default)")
+    parser.add_argument("--trace", type=int, default=30_000)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="JSON result file ('-' to skip writing)")
+    args = parser.parse_args(argv)
+
+    workers = args.workers if args.workers != 0 else None
+    record = run_benchmark(
+        cycles=args.cycles,
+        runs=args.runs,
+        workers=workers,
+        trace_len=args.trace,
+        seed=args.seed,
+    )
+    print(format_report(record))
+    if args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

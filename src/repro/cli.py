@@ -8,7 +8,8 @@ Usage (also via ``python -m repro``):
     repro accuracy     [--count 100000] [--seed 5] [--profile ...]
     repro trace        --output delays.txt [--count 100000]
     repro select-order --input delays.txt [--max-p 3 --max-d 2 --max-q 3]
-    repro qos          [--cycles 20000] [--runs 5] [--detectors all|id,id,...]
+    repro qos          [--cycles 20000] [--runs 5] [--workers N]
+                       [--detectors all|id,id,...]
 
 Every subcommand prints its table or figure in the layout of the paper
 (Tables 2-4, Figures 4-8) so terminal output can be compared directly.
@@ -98,6 +99,11 @@ def _build_parser() -> argparse.ArgumentParser:
     qos.add_argument("--ttr", type=float, default=20.0)
     qos.add_argument("--eta", type=float, default=1.0)
     qos.add_argument("--seed", type=int, default=2005)
+    qos.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the repetitions (0 = one per core, "
+             "default: 1 = serial)",
+    )
     qos.add_argument(
         "--detectors", default="all",
         help="'all' or comma-separated ids, e.g. Last+JAC_med,Arima+CI_low",
@@ -207,8 +213,12 @@ def _command_qos(args: argparse.Namespace) -> int:
         profile_name=args.profile,
         seed=args.seed,
     )
+    workers: Optional[int] = args.workers if args.workers != 0 else None
+    if workers is not None and workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
     print(f"running {args.runs} x [{config.describe()}]")
-    results = run_repetitions(config, args.runs, detectors)
+    results = run_repetitions(config, args.runs, detectors, workers=workers)
     pooled = aggregate_runs(results)
     print(f"total crashes: {sum(r.crashes for r in results)}\n")
     _print_figures(pooled, chart=args.chart)

@@ -16,10 +16,16 @@
 from repro.experiments.runner import (
     AggregatedQos,
     QosRunResult,
+    QosRunSummary,
     aggregate_runs,
     build_qos_system,
     run_qos_experiment,
     run_repetitions,
+)
+from repro.experiments.parallel import (
+    default_workers,
+    parallel_map,
+    run_repetitions_parallel,
 )
 from repro.experiments.accuracy import (
     collect_delay_trace,
@@ -50,7 +56,11 @@ from repro.experiments.sweep import (
 __all__ = [
     "AggregatedQos",
     "QosRunResult",
+    "QosRunSummary",
     "SweepPoint",
+    "default_workers",
+    "parallel_map",
+    "run_repetitions_parallel",
     "aggregate_runs",
     "build_qos_system",
     "characterize_profile",

@@ -1,0 +1,115 @@
+"""Parallel campaign execution over a process pool.
+
+The paper's campaign — 13 independent runs × 30 detectors × 100 000
+heartbeat cycles — is embarrassingly parallel across runs (and across
+sweep points): every repetition derives its own seed through
+:meth:`~repro.neko.config.ExperimentConfig.with_run` and builds a fresh
+:class:`~repro.sim.random.RandomStreams`, so no state is shared between
+runs.  This module fans that work out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Determinism** — workers execute exactly the same
+  ``run_qos_experiment(config.with_run(run_id))`` calls as the serial
+  path, and ``Executor.map`` preserves submission order, so the pooled
+  QoS is *byte-identical* to a serial campaign on the same seeds
+  (asserted by ``tests/test_parallel.py``).
+* **Pickle-light results** — workers return
+  :class:`~repro.experiments.runner.QosRunSummary` (QoS samples and
+  counters), never the run's :class:`~repro.nekostat.log.EventLog`;
+  shipping hundreds of thousands of events through the pickle pipe would
+  dominate the run time.
+* **Graceful degradation** — ``workers <= 1`` (or a single payload)
+  executes inline in the parent process, so the same entry points serve
+  laptops and many-core machines.
+
+The generic :func:`parallel_map` helper is also used by the parameter
+sweeps (:mod:`repro.experiments.sweep`), whose points are equally
+independent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.experiments.runner import QosRunSummary, run_qos_experiment
+from repro.neko.config import ExperimentConfig
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def default_workers() -> int:
+    """The default worker count: every core the machine offers."""
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` argument: ``None`` means all cores."""
+    if workers is None:
+        return default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+def parallel_map(
+    fn: Callable[[_P], _R],
+    payloads: Iterable[_P],
+    *,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[_R]:
+    """Map ``fn`` over ``payloads`` on a process pool, preserving order.
+
+    ``fn`` must be a module-level (picklable) function and every payload a
+    picklable value.  With ``workers <= 1`` — or fewer than two payloads —
+    the map runs inline, producing identical results without any pool
+    overhead; results always come back in payload order, so parallel and
+    serial execution are interchangeable.
+    """
+    items = list(payloads)
+    count = resolve_workers(workers)
+    if count <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def _execute_repetition(
+    payload: Tuple[ExperimentConfig, Optional[Tuple[str, ...]]],
+) -> QosRunSummary:
+    """Worker body: run one repetition, return its light summary."""
+    config, detector_ids = payload
+    result = run_qos_experiment(config, detector_ids)
+    return QosRunSummary.from_result(result)
+
+
+def run_repetitions_parallel(
+    config: ExperimentConfig,
+    runs: int,
+    detector_ids: Optional[Sequence[str]] = None,
+    *,
+    workers: Optional[int] = None,
+) -> List[QosRunSummary]:
+    """Run ``runs`` independent repetitions across a worker pool.
+
+    Per-run seeding is exactly the serial path's: repetition ``k`` runs
+    ``config.with_run(k)``.  Results are returned in run order as
+    pickle-light :class:`~repro.experiments.runner.QosRunSummary` objects,
+    ready for :func:`~repro.experiments.runner.aggregate_runs`.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    ids = tuple(detector_ids) if detector_ids is not None else None
+    payloads = [(config.with_run(run_id), ids) for run_id in range(runs)]
+    return parallel_map(_execute_repetition, payloads, workers=workers)
+
+
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "resolve_workers",
+    "run_repetitions_parallel",
+]

@@ -17,7 +17,7 @@ QoS metrics need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.clocks.clock import Clock, DriftingClock, PerfectClock
 from repro.fd.combinations import combination_ids, make_strategy, parse_combination_id
@@ -51,6 +51,37 @@ class QosRunResult:
     heartbeats_delivered: int
     link_loss_rate: float
     crashes: int
+
+
+@dataclass
+class QosRunSummary:
+    """A pickle-light :class:`QosRunResult`: QoS samples and counters only.
+
+    Worker processes of the parallel campaign runner return these instead
+    of full results — shipping the :class:`EventLog` (hundreds of
+    thousands of events per run) back through the pickle pipe would cost
+    more than the run itself.  Everything :func:`aggregate_runs` and the
+    reporting layer consume is preserved.
+    """
+
+    config: ExperimentConfig
+    qos: Dict[str, DetectorQos]
+    heartbeats_sent: int
+    heartbeats_delivered: int
+    link_loss_rate: float
+    crashes: int
+
+    @classmethod
+    def from_result(cls, result: QosRunResult) -> "QosRunSummary":
+        """Strip the event log off a full run result."""
+        return cls(
+            config=result.config,
+            qos=result.qos,
+            heartbeats_sent=result.heartbeats_sent,
+            heartbeats_delivered=result.heartbeats_delivered,
+            link_loss_rate=result.link_loss_rate,
+            crashes=result.crashes,
+        )
 
 
 @dataclass
@@ -216,19 +247,47 @@ def run_repetitions(
     config: ExperimentConfig,
     runs: int,
     detector_ids: Optional[Sequence[str]] = None,
+    *,
+    workers: Optional[int] = 1,
     **build_kwargs,
 ) -> List[QosRunResult]:
-    """Run ``runs`` independent repetitions (the paper performed 13)."""
+    """Run ``runs`` independent repetitions (the paper performed 13).
+
+    With ``workers`` > 1 (or ``workers=None`` = one per core) the
+    repetitions are fanned out over a process pool (see
+    :mod:`repro.experiments.parallel`) and the returned list holds
+    pickle-light :class:`QosRunSummary` objects instead of full
+    :class:`QosRunResult` — same seeds, same per-run QoS, same order, but
+    without the per-run event logs.  ``build_kwargs`` (which may carry
+    arbitrary callables) are only supported on the serial path.
+    """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
+    if workers is None or workers > 1:
+        if build_kwargs:
+            raise ValueError(
+                "workers > 1 does not support build_kwargs "
+                f"(got {sorted(build_kwargs)}); run serially instead"
+            )
+        from repro.experiments.parallel import run_repetitions_parallel
+
+        return run_repetitions_parallel(  # type: ignore[return-value]
+            config, runs, detector_ids, workers=workers
+        )
     return [
         run_qos_experiment(config.with_run(run_id), detector_ids, **build_kwargs)
         for run_id in range(runs)
     ]
 
 
-def aggregate_runs(results: Sequence[QosRunResult]) -> Dict[str, AggregatedQos]:
-    """Pool the QoS samples of several runs, per detector."""
+def aggregate_runs(
+    results: Sequence[Union[QosRunResult, QosRunSummary]],
+) -> Dict[str, AggregatedQos]:
+    """Pool the QoS samples of several runs, per detector.
+
+    Accepts full results and the parallel runner's light summaries alike —
+    only the per-detector QoS samples are consumed.
+    """
     if not results:
         raise ValueError("no results to aggregate")
     pooled: Dict[str, AggregatedQos] = {}
@@ -249,6 +308,7 @@ __all__ = [
     "MONITOR",
     "MONITORED",
     "QosRunResult",
+    "QosRunSummary",
     "aggregate_runs",
     "build_qos_system",
     "run_qos_experiment",

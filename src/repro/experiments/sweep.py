@@ -13,14 +13,19 @@ continuous dials they are:
   exposing where the accuracy/delay trade-off curve bends.
 
 Both reuse the standard experiment runner, so every point is a full
-crash-injected run.
+crash-injected run.  Points are independent runs, so both sweeps accept
+``workers`` and fan out over the process pool of
+:mod:`repro.experiments.parallel`; the per-point work is done by
+module-level functions on picklable payloads, and serial execution maps
+the very same functions inline — the two paths cannot diverge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import MONITORED, build_qos_system
 from repro.fd.combinations import make_margin, make_predictor
 from repro.fd.detector import PushFailureDetector
@@ -44,10 +49,12 @@ class SweepPoint:
 
     @classmethod
     def from_qos(cls, value: float, qos: DetectorQos, eta: float) -> "SweepPoint":
+        t_d = qos.t_d
+        t_d_upper = qos.t_d_upper
         return cls(
             value=value,
-            detection_time=qos.t_d.mean if qos.t_d else float("nan"),
-            detection_time_max=qos.t_d_upper if qos.t_d_upper else float("nan"),
+            detection_time=t_d.mean if t_d is not None else float("nan"),
+            detection_time_max=t_d_upper if t_d_upper is not None else float("nan"),
             mistake_rate=qos.mistake_rate,
             mistakes=len(qos.mistakes),
             query_accuracy=qos.p_a,
@@ -74,33 +81,58 @@ def _run_one(
     )[detector_id]
 
 
+def _execute_eta_point(
+    payload: Tuple[ExperimentConfig, float, str, str],
+) -> SweepPoint:
+    """One eta sweep point (module-level so it pickles into workers)."""
+    base_config, eta, predictor_name, margin_name = payload
+    cycles = max(1, int(round(base_config.duration / eta)))
+    config = replace(base_config, eta=eta, num_cycles=cycles)
+    strategy = TimeoutStrategy(
+        make_predictor(predictor_name), make_margin(margin_name)
+    )
+    qos = _run_one(config, strategy, f"sweep-eta-{eta}")
+    return SweepPoint.from_qos(eta, qos, eta)
+
+
+def _execute_margin_point(
+    payload: Tuple[ExperimentConfig, float, str, str],
+) -> SweepPoint:
+    """One margin-level sweep point (module-level so it pickles)."""
+    base_config, level, family, predictor_name = payload
+    if family == "CI":
+        margin = ConfidenceIntervalMargin(gamma=level)
+    else:
+        margin = JacobsonMargin(phi=level)
+    strategy = TimeoutStrategy(make_predictor(predictor_name), margin)
+    qos = _run_one(base_config, strategy, f"sweep-{family}-{level}")
+    return SweepPoint.from_qos(level, qos, base_config.eta)
+
+
 def sweep_eta(
     base_config: ExperimentConfig,
     etas: Sequence[float],
     *,
     predictor_name: str = "Last",
     margin_name: str = "JAC_med",
+    workers: Optional[int] = 1,
 ) -> List[SweepPoint]:
     """Run the experiment at each heartbeat period in ``etas``.
 
     The virtual *duration* (seconds) is held fixed — not the cycle count —
-    so every point sees the same crash schedule length.
+    so every point sees the same crash schedule length.  With ``workers``
+    > 1 (or ``None`` = all cores) the points run on a process pool; the
+    result is identical to the serial sweep point for point.
     """
     if not etas:
         raise ValueError("need at least one eta")
-    duration = base_config.duration
-    points = []
     for eta in etas:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
-        cycles = max(1, int(round(duration / eta)))
-        config = replace(base_config, eta=eta, num_cycles=cycles)
-        strategy = TimeoutStrategy(
-            make_predictor(predictor_name), make_margin(margin_name)
-        )
-        qos = _run_one(config, strategy, f"sweep-eta-{eta}")
-        points.append(SweepPoint.from_qos(eta, qos, eta))
-    return points
+    payloads = [
+        (base_config, float(eta), predictor_name, margin_name) for eta in etas
+    ]
+    return parallel_map(_execute_eta_point, payloads, workers=workers)
 
 
 def sweep_margin_level(
@@ -109,24 +141,23 @@ def sweep_margin_level(
     *,
     family: str = "CI",
     predictor_name: str = "Last",
+    workers: Optional[int] = 1,
 ) -> List[SweepPoint]:
-    """Run the experiment at each margin level (γ for CI, φ for JAC)."""
+    """Run the experiment at each margin level (γ for CI, φ for JAC).
+
+    ``workers`` behaves as in :func:`sweep_eta`.
+    """
     if family not in ("CI", "JAC"):
         raise ValueError(f"family must be 'CI' or 'JAC', got {family!r}")
     if not levels:
         raise ValueError("need at least one level")
-    points = []
     for level in levels:
         if level <= 0:
             raise ValueError(f"levels must be > 0, got {level!r}")
-        if family == "CI":
-            margin = ConfidenceIntervalMargin(gamma=level)
-        else:
-            margin = JacobsonMargin(phi=level)
-        strategy = TimeoutStrategy(make_predictor(predictor_name), margin)
-        qos = _run_one(base_config, strategy, f"sweep-{family}-{level}")
-        points.append(SweepPoint.from_qos(level, qos, base_config.eta))
-    return points
+    payloads = [
+        (base_config, float(level), family, predictor_name) for level in levels
+    ]
+    return parallel_map(_execute_margin_point, payloads, workers=workers)
 
 
 def format_sweep(points: Sequence[SweepPoint], parameter: str) -> str:

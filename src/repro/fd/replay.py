@@ -1,0 +1,572 @@
+"""Vectorized trace replay: detector maths as array operations.
+
+The event-driven simulator pays for generality: every heartbeat is a
+scheduled delivery, every freshness point a cancellable timer, every
+observation a chain of method calls through
+:class:`~repro.fd.timeout.TimeoutStrategy`.  When the input is a *recorded
+trace* — send times, delays, loss mask, as produced by
+:mod:`repro.net.traces` or
+:func:`repro.experiments.accuracy.collect_delay_trace` — none of that
+machinery is needed: every non-ARIMA predictor and both adaptive margins
+are simple recurrences over the observation sequence, computable in O(n)
+with NumPy:
+
+* ``LAST`` is the identity, ``MEAN`` a ``cumsum / arange``, ``WINMEAN`` a
+  sliding-window sum (two ``cumsum`` reads), ``LPF`` an exponential
+  recurrence;
+* ``SM_CI`` needs only running first and second moments (a shifted
+  ``cumsum`` pair, numerically equivalent to the scalar Welford
+  accumulator);
+* ``SM_JAC`` is an exponential recurrence over the absolute one-step
+  prediction errors;
+* freshness points, suspicion intervals and mistake durations follow from
+  the arrival order and the per-observation time-outs with pure array
+  algebra — no event queue.
+
+:func:`replay_strategy` matches the per-observation
+:class:`~repro.fd.timeout.TimeoutStrategy` classes to float tolerance
+(``tests/test_replay.py`` proves it against both the scalar classes and a
+full event-driven :class:`~repro.fd.detector.PushFailureDetector` run);
+``scripts/bench_perf.py`` tracks the speedup.  ``ARIMA`` stays on the
+scalar path — its periodic refit is a batched least-squares problem, not
+a one-pass recurrence — as does any run with crash injection (the replay
+models a crash-free monitored process, which is exactly the offline
+predictor/margin evaluation workload).
+
+NumPy is a declared dependency, but the import is guarded so that the
+scalar helpers (:func:`replay_strategy_scalar`,
+:func:`replay_detector_scalar`) keep working without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+try:  # guarded: the scalar reference path must work without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+from repro.fd.combinations import (
+    GAMMA_VALUES,
+    JACOBSON_ALPHA,
+    LPF_BETA,
+    PHI_VALUES,
+    WINMEAN_WINDOW,
+    make_margin,
+    make_predictor,
+    parse_combination_id,
+)
+from repro.fd.timeout import TimeoutStrategy
+from repro.nekostat.metrics import DetectorQos, MistakeInterval
+
+#: Predictors with a vectorized replay implementation.
+REPLAY_PREDICTORS: Tuple[str, ...] = ("Last", "Mean", "WinMean", "LPF")
+
+#: Margin families with a vectorized replay implementation.
+REPLAY_MARGINS: Tuple[str, ...] = tuple(GAMMA_VALUES) + tuple(PHI_VALUES)
+
+#: Default margin before enough observations exist (matches
+#: :class:`~repro.fd.safety.ConfidenceIntervalMargin` and
+#: :class:`~repro.fd.safety.JacobsonMargin`).
+DEFAULT_INITIAL_MARGIN = 0.1
+
+
+def supports_replay(predictor_name: str, margin_name: Optional[str] = None) -> bool:
+    """Whether the combination has a vectorized replay implementation.
+
+    ``ARIMA`` (and any unknown predictor) returns ``False``: it stays on
+    the scalar path until refit batching lands.
+    """
+    if predictor_name not in REPLAY_PREDICTORS:
+        return False
+    if margin_name is not None and margin_name not in REPLAY_MARGINS:
+        return False
+    return True
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise RuntimeError(
+            "the vectorized replay fast path requires numpy (a declared "
+            "dependency); install it or use replay_strategy_scalar()"
+        )
+
+
+def _seeded_ewma(values: "np.ndarray", gain: float) -> "np.ndarray":
+    """``out[0] = v[0]; out[k] = out[k-1] + gain*(v[k] - out[k-1])``.
+
+    The recurrence is inherently sequential, so this is an explicit O(n)
+    loop — but over a plain float list, without any per-observation object
+    dispatch, it is still an order of magnitude faster than the class
+    path, and it performs *bit-identical* operations to the scalar
+    :class:`~repro.fd.predictors.LpfPredictor` /
+    :class:`~repro.fd.safety.JacobsonMargin` recurrences.
+    """
+    out = np.empty(values.shape[0])
+    items = values.tolist()
+    acc = items[0]
+    out[0] = acc
+    for index in range(1, len(items)):
+        acc += gain * (items[index] - acc)
+        out[index] = acc
+    return out
+
+
+def replay_predictions(
+    predictor_name: str,
+    observations: "np.ndarray",
+    *,
+    window: int = WINMEAN_WINDOW,
+    beta: float = LPF_BETA,
+) -> "np.ndarray":
+    """Prediction in force *after* each observation, as an array.
+
+    ``out[k]`` equals ``strategy.prediction()`` after feeding
+    ``observations[: k + 1]`` — the forecast the detector arms its next
+    freshness point with.
+    """
+    _require_numpy()
+    x = np.asarray(observations, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("observations must be a non-empty 1-D array")
+    n = x.size
+    if predictor_name == "Last":
+        return x.copy()
+    if predictor_name == "Mean":
+        return np.cumsum(x) / np.arange(1, n + 1)
+    if predictor_name == "WinMean":
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        cs = np.cumsum(x)
+        out = np.empty(n)
+        head = min(window, n)
+        out[:head] = cs[:head] / np.arange(1, head + 1)
+        if n > window:
+            out[window:] = (cs[window:] - cs[:-window]) / float(window)
+        return out
+    if predictor_name == "LPF":
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta!r}")
+        return _seeded_ewma(x, beta)
+    raise ValueError(
+        f"no vectorized replay for predictor {predictor_name!r}; "
+        f"supported: {REPLAY_PREDICTORS} (ARIMA stays on the scalar path)"
+    )
+
+
+def replay_margins(
+    margin_name: str,
+    observations: "np.ndarray",
+    predictions: "np.ndarray",
+    *,
+    initial_prediction: float = 0.0,
+    initial_margin: float = DEFAULT_INITIAL_MARGIN,
+    alpha: float = JACOBSON_ALPHA,
+) -> "np.ndarray":
+    """Safety margin in force *after* each observation, as an array.
+
+    ``out[k]`` equals ``margin.current()`` after the margin saw the pairs
+    ``(observations[j], prediction in force for j)`` for ``j <= k`` —
+    mirroring the update order fixed by
+    :meth:`~repro.fd.timeout.TimeoutStrategy.observe`.
+    """
+    _require_numpy()
+    x = np.asarray(observations, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("observations must be a non-empty 1-D array")
+    n = x.size
+    if margin_name in GAMMA_VALUES:
+        gamma = GAMMA_VALUES[margin_name]
+        counts = np.arange(1, n + 1, dtype=float)
+        # Shift by the overall mean before accumulating moments: the
+        # cumulative sums then cancel benignly and the running variance
+        # matches the scalar Welford accumulator to ~1e-15 relative.
+        shift = float(np.mean(x))
+        xs = x - shift
+        cs = np.cumsum(xs)
+        running_mean = cs / counts
+        m2 = np.maximum(np.cumsum(xs * xs) - cs * running_mean, 0.0)
+        deviation = xs - running_mean
+        out = np.empty(n)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sigma = np.sqrt(m2 / (counts - 1.0))
+            inflation = 1.0 + 1.0 / counts + (deviation * deviation) / m2
+            out = gamma * sigma * np.sqrt(inflation)
+        out[m2 == 0.0] = 0.0  # sigma == 0 -> margin 0, as in the scalar class
+        if n >= 1:
+            out[0] = initial_margin  # fewer than two observations
+        return out
+    if margin_name in PHI_VALUES:
+        phi = PHI_VALUES[margin_name]
+        predictions = np.asarray(predictions, dtype=float)
+        if predictions.shape != x.shape:
+            raise ValueError("predictions must align with observations")
+        in_force = np.concatenate(([float(initial_prediction)], predictions[:-1]))
+        errors = np.abs(x - in_force)
+        return phi * _seeded_ewma(errors, alpha)
+    raise ValueError(
+        f"no vectorized replay for margin {margin_name!r}; "
+        f"supported: {REPLAY_MARGINS}"
+    )
+
+
+@dataclass(frozen=True)
+class StrategyReplay:
+    """The per-observation sequences of one predictor+margin combination.
+
+    Index ``k`` reflects the state *after* observation ``k`` was absorbed:
+    exactly what :meth:`~repro.fd.timeout.TimeoutStrategy.prediction` /
+    ``timeout()`` would return at that point of the scalar run.
+    """
+
+    detector: str
+    observations: "np.ndarray"
+    predictions: "np.ndarray"
+    margins: "np.ndarray"
+    timeouts: "np.ndarray"
+
+
+def replay_strategy(
+    predictor_name: str,
+    margin_name: str,
+    observations: Sequence[float],
+    *,
+    initial_prediction: float = 0.0,
+    initial_margin: float = DEFAULT_INITIAL_MARGIN,
+) -> StrategyReplay:
+    """Vectorized equivalent of feeding every observation to a
+    :class:`~repro.fd.timeout.TimeoutStrategy` built by
+    :func:`~repro.fd.combinations.make_strategy`."""
+    _require_numpy()
+    x = np.asarray(observations, dtype=float)
+    predictions = replay_predictions(predictor_name, x)
+    margins = replay_margins(
+        margin_name,
+        x,
+        predictions,
+        initial_prediction=initial_prediction,
+        initial_margin=initial_margin,
+    )
+    timeouts = np.maximum(0.0, predictions + margins)
+    return StrategyReplay(
+        detector=f"{predictor_name}+{margin_name}",
+        observations=x,
+        predictions=predictions,
+        margins=margins,
+        timeouts=timeouts,
+    )
+
+
+def replay_combination(
+    detector_id: str,
+    observations: Sequence[float],
+    **kwargs,
+) -> StrategyReplay:
+    """:func:`replay_strategy` keyed by a ``"Predictor+Margin"`` id."""
+    predictor_name, margin_name = parse_combination_id(detector_id)
+    return replay_strategy(predictor_name, margin_name, observations, **kwargs)
+
+
+def replay_strategy_scalar(
+    predictor_name: str,
+    margin_name: str,
+    observations: Sequence[float],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Reference implementation: the per-observation class path.
+
+    Returns ``(predictions, margins, timeouts)`` lists; used by the
+    equivalence tests and as the baseline of ``scripts/bench_perf.py``.
+    Works for every registered combination, including ARIMA.
+    """
+    strategy = TimeoutStrategy(
+        make_predictor(predictor_name), make_margin(margin_name)
+    )
+    predictions: List[float] = []
+    margins: List[float] = []
+    timeouts: List[float] = []
+    for value in observations:
+        strategy.observe(float(value))
+        prediction = strategy.prediction()
+        timeout = strategy.timeout()
+        predictions.append(prediction)
+        margins.append(strategy.margin.current())
+        timeouts.append(timeout)
+    return predictions, margins, timeouts
+
+
+# ----------------------------------------------------------------------
+# Full detector replay: freshness points and suspicion intervals
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DetectorReplay:
+    """The replayed behaviour of one crash-free push failure detector.
+
+    All times are global virtual seconds under the perfect-clock
+    assumption (monitor started at t = 0).  ``freshness_points[j]`` is the
+    expiry instant armed by the ``j``-th *fresh* heartbeat — already
+    clamped to its arrival time, as the event-driven detector does.
+    Suspicion intervals are exactly the detector's
+    ``START_SUSPECT``/``END_SUSPECT`` pairs (mistakes, since nothing
+    crashes during a trace replay).
+    """
+
+    detector: str
+    end_time: float
+    arrival_times: "np.ndarray"        # delivered heartbeats, arrival order
+    sequence_numbers: "np.ndarray"
+    fresh: "np.ndarray"                # bool mask over arrivals
+    observations: "np.ndarray"         # delays fed to the strategy
+    timeouts: "np.ndarray"             # delta after each observation
+    freshness_points: "np.ndarray"     # tau per fresh heartbeat
+    suspicion_starts: "np.ndarray"
+    suspicion_ends: "np.ndarray"
+
+    @property
+    def mistake_durations(self) -> "np.ndarray":
+        """Durations of the erroneous suspicions, in seconds."""
+        return self.suspicion_ends - self.suspicion_starts
+
+    def suspicion_intervals(self) -> List[Tuple[float, float]]:
+        """The ``[start, end)`` suspicion intervals as python tuples."""
+        return [
+            (float(s), float(e))
+            for s, e in zip(self.suspicion_starts, self.suspicion_ends)
+        ]
+
+    def to_detector_qos(self) -> DetectorQos:
+        """Package the replay as a :class:`DetectorQos` (no crashes)."""
+        qos = DetectorQos(
+            detector=self.detector,
+            observation_time=self.end_time,
+            up_time=self.end_time,
+        )
+        qos.mistakes = [
+            MistakeInterval(start=float(s), end=float(e))
+            for s, e in zip(self.suspicion_starts, self.suspicion_ends)
+        ]
+        starts = self.suspicion_starts
+        qos.tmr_samples = [float(b - a) for a, b in zip(starts, starts[1:])]
+        qos.suspected_up_time = float(np.sum(self.mistake_durations))
+        return qos
+
+
+def replay_detector(
+    predictor_name: str,
+    margin_name: str,
+    send_times: Sequence[float],
+    delays: Sequence[float],
+    *,
+    eta: float,
+    lost: Optional[Sequence[bool]] = None,
+    initial_timeout: Optional[float] = None,
+    end_time: Optional[float] = None,
+    observe_stale: bool = True,
+    initial_prediction: float = 0.0,
+    initial_margin: float = DEFAULT_INITIAL_MARGIN,
+) -> DetectorReplay:
+    """Replay a recorded heartbeat trace through a vectorized detector.
+
+    Heartbeat ``i`` (sequence number ``i``) is sent at ``send_times[i]``
+    and, unless ``lost[i]``, arrives after ``delays[i]`` seconds.  The
+    function reproduces the event-driven
+    :class:`~repro.fd.detector.PushFailureDetector` on that input — same
+    freshness points, same suspicion intervals — assuming perfect clocks,
+    a monitored process that never crashes, and a monitor started at
+    t = 0 (the offline trace-evaluation setting).
+
+    ``initial_timeout`` defaults to ``10 * eta``, the experiment runner's
+    convention.  ``end_time`` defaults to the last arrival; arrivals after
+    ``end_time`` are outside the replayed horizon, exactly as events past
+    ``run(until=...)`` never fire.
+    """
+    _require_numpy()
+    if eta <= 0:
+        raise ValueError(f"eta must be > 0, got {eta!r}")
+    sends = np.asarray(send_times, dtype=float)
+    delay_arr = np.asarray(delays, dtype=float)
+    if sends.shape != delay_arr.shape or sends.ndim != 1 or sends.size == 0:
+        raise ValueError("send_times and delays must be matching 1-D arrays")
+    if lost is None:
+        delivered = np.ones(sends.size, dtype=bool)
+    else:
+        lost_arr = np.asarray(lost, dtype=bool)
+        if lost_arr.shape != sends.shape:
+            raise ValueError("lost mask must align with send_times")
+        delivered = ~lost_arr
+    if initial_timeout is None:
+        initial_timeout = 10.0 * eta
+    if initial_timeout < 0:
+        raise ValueError(f"initial_timeout must be >= 0, got {initial_timeout!r}")
+
+    sequence = np.flatnonzero(delivered)
+    sigma = sends[delivered]
+    arrivals = sigma + delay_arr[delivered]
+    if arrivals.size == 0:
+        raise ValueError("every heartbeat was lost; nothing to replay")
+
+    # Arrival order; ties resolved by send order, matching the engine's
+    # same-instant FIFO (deliveries are scheduled at send time).
+    order = np.argsort(arrivals, kind="stable")
+    arrivals = arrivals[order]
+    sequence = sequence[order]
+    sigma = sigma[order]
+    if end_time is None:
+        end_time = float(arrivals[-1])
+    horizon = arrivals <= end_time
+    arrivals, sequence, sigma = arrivals[horizon], sequence[horizon], sigma[horizon]
+
+    detector_id = f"{predictor_name}+{margin_name}"
+    if arrivals.size == 0:
+        # No heartbeat ever arrives: one suspicion from the initial expiry.
+        initial_deadline = eta + float(initial_timeout)
+        has_suspicion = initial_deadline <= end_time
+        empty = np.empty(0)
+        return DetectorReplay(
+            detector=detector_id,
+            end_time=float(end_time),
+            arrival_times=empty,
+            sequence_numbers=np.empty(0, dtype=int),
+            fresh=np.empty(0, dtype=bool),
+            observations=empty,
+            timeouts=empty,
+            freshness_points=empty,
+            suspicion_starts=np.array([initial_deadline]) if has_suspicion else empty,
+            suspicion_ends=np.array([float(end_time)]) if has_suspicion else empty,
+        )
+
+    # Freshness: sequence number above everything seen so far.
+    running_max = np.maximum.accumulate(sequence)
+    fresh = np.empty(arrivals.size, dtype=bool)
+    fresh[0] = True
+    fresh[1:] = sequence[1:] > running_max[:-1]
+
+    observed_delays = arrivals - sigma
+    if observe_stale:
+        observations = observed_delays
+        fresh_observation_index = np.flatnonzero(fresh)
+    else:
+        observations = observed_delays[fresh]
+        fresh_observation_index = np.arange(observations.size)
+
+    strategy = replay_strategy(
+        predictor_name,
+        margin_name,
+        observations,
+        initial_prediction=initial_prediction,
+        initial_margin=initial_margin,
+    )
+
+    fresh_arrivals = arrivals[fresh]
+    fresh_sigma = sigma[fresh]
+    delta = strategy.timeouts[fresh_observation_index]
+    # tau_{i+1} = sigma_i + eta + delta, clamped to the arming instant
+    # (PushFailureDetector arms at max(now, tau)).
+    freshness_points = np.maximum(fresh_arrivals, fresh_sigma + eta + delta)
+
+    # Each deadline raises a suspicion iff the next fresh heartbeat lands
+    # strictly after it (at an equal instant the delivery outranks the
+    # timer); the suspicion ends at that arrival, or at the horizon.
+    deadlines = np.concatenate(([eta + float(initial_timeout)], freshness_points))
+    next_fresh = np.concatenate((fresh_arrivals, [np.inf]))
+    raised = (next_fresh > deadlines) & (deadlines <= end_time)
+    suspicion_starts = deadlines[raised]
+    suspicion_ends = np.minimum(next_fresh[raised], end_time)
+
+    return DetectorReplay(
+        detector=detector_id,
+        end_time=float(end_time),
+        arrival_times=arrivals,
+        sequence_numbers=sequence,
+        fresh=fresh,
+        observations=observations,
+        timeouts=strategy.timeouts,
+        freshness_points=freshness_points,
+        suspicion_starts=suspicion_starts,
+        suspicion_ends=suspicion_ends,
+    )
+
+
+def replay_detector_scalar(
+    predictor_name: str,
+    margin_name: str,
+    send_times: Sequence[float],
+    delays: Sequence[float],
+    *,
+    eta: float,
+    lost: Optional[Sequence[bool]] = None,
+    initial_timeout: Optional[float] = None,
+    end_time: Optional[float] = None,
+    observe_stale: bool = True,
+) -> Tuple[List[float], List[Tuple[float, float]]]:
+    """Reference detector replay through the scalar strategy classes.
+
+    Returns ``(freshness_points, suspicion_intervals)``.  Pure python —
+    no numpy required — and valid for every combination including ARIMA;
+    the equivalence tests pit :func:`replay_detector` against it.
+    """
+    if eta <= 0:
+        raise ValueError(f"eta must be > 0, got {eta!r}")
+    if initial_timeout is None:
+        initial_timeout = 10.0 * eta
+    count = len(send_times)
+    if len(delays) != count:
+        raise ValueError("send_times and delays must have matching length")
+    lost_list = list(lost) if lost is not None else [False] * count
+    arrivals = [
+        (send_times[i] + delays[i], i, send_times[i])
+        for i in range(count)
+        if not lost_list[i]
+    ]
+    arrivals.sort(key=lambda item: item[0])  # stable: ties keep send order
+    if end_time is None:
+        end_time = max(a for a, _, _ in arrivals) if arrivals else eta
+
+    strategy = TimeoutStrategy(
+        make_predictor(predictor_name), make_margin(margin_name)
+    )
+    deadline = eta + float(initial_timeout)
+    max_seq = -1
+    suspecting = False
+    freshness_points: List[float] = []
+    intervals: List[Tuple[float, float]] = []
+    open_start = 0.0
+    for arrival, seq, sigma in arrivals:
+        if arrival > end_time:
+            break
+        if not suspecting and deadline < arrival and deadline <= end_time:
+            suspecting = True
+            open_start = deadline
+        if seq > max_seq:
+            max_seq = seq
+            strategy.observe(arrival - sigma)
+            if suspecting:
+                intervals.append((open_start, arrival))
+                suspecting = False
+            deadline = max(arrival, sigma + eta + strategy.timeout())
+            freshness_points.append(deadline)
+        elif observe_stale:
+            strategy.observe(arrival - sigma)
+    if suspecting:
+        intervals.append((open_start, float(end_time)))
+    elif deadline <= end_time:
+        intervals.append((deadline, float(end_time)))
+    return freshness_points, intervals
+
+
+__all__ = [
+    "DEFAULT_INITIAL_MARGIN",
+    "DetectorReplay",
+    "REPLAY_MARGINS",
+    "REPLAY_PREDICTORS",
+    "StrategyReplay",
+    "replay_combination",
+    "replay_detector",
+    "replay_detector_scalar",
+    "replay_margins",
+    "replay_predictions",
+    "replay_strategy",
+    "replay_strategy_scalar",
+    "supports_replay",
+]

@@ -1,0 +1,236 @@
+"""Equivalence tests for the vectorized trace-replay fast path.
+
+Three layers of proof, per the performance-layer contract:
+
+* the per-observation sequences (prediction, margin, time-out) match the
+  scalar :class:`~repro.fd.timeout.TimeoutStrategy` classes;
+* the derived freshness points and suspicion intervals match the scalar
+  detector reference on traces with loss and reordering;
+* the suspicion intervals match a *real* event-driven run — a
+  :class:`~repro.fd.detector.PushFailureDetector` fed through a
+  :class:`~repro.net.delay.TraceDelay` link on the simulation engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clocks.clock import PerfectClock
+from repro.fd.combinations import MARGIN_NAMES, make_strategy
+from repro.fd.detector import PushFailureDetector
+from repro.fd.heartbeat import Heartbeater
+from repro.fd.replay import (
+    REPLAY_PREDICTORS,
+    replay_combination,
+    replay_detector,
+    replay_detector_scalar,
+    replay_strategy,
+    replay_strategy_scalar,
+    supports_replay,
+)
+from repro.neko.layer import ProtocolStack
+from repro.neko.system import NekoSystem
+from repro.nekostat.log import EventLog
+from repro.nekostat.metrics import _suspicion_intervals
+from repro.net.delay import TraceDelay
+from repro.sim.engine import Simulator
+
+TOLERANCE = 1e-9
+
+
+def make_trace(n, seed=42, spike_probability=0.01):
+    """A WAN-looking delay trace: gamma body plus rare large spikes."""
+    rng = np.random.default_rng(seed)
+    delays = 0.1 + rng.gamma(2.0, 0.01, n)
+    spikes = rng.random(n) < spike_probability
+    return delays + spikes * rng.uniform(0.3, 2.5, n)
+
+
+class TestSupports:
+    def test_vectorized_predictors(self):
+        for name in REPLAY_PREDICTORS:
+            assert supports_replay(name)
+
+    def test_arima_stays_scalar(self):
+        assert not supports_replay("Arima")
+        with pytest.raises(ValueError, match="scalar path"):
+            replay_strategy("Arima", "CI_low", [0.1, 0.2])
+
+    def test_unknown_margin_rejected(self):
+        assert not supports_replay("Last", "nope")
+        with pytest.raises(ValueError):
+            replay_strategy("Last", "nope", [0.1, 0.2])
+
+
+class TestStrategyEquivalence:
+    """Vectorized sequences == scalar TimeoutStrategy, all 24 combos."""
+
+    @pytest.mark.parametrize("predictor", REPLAY_PREDICTORS)
+    @pytest.mark.parametrize("margin", MARGIN_NAMES)
+    def test_matches_scalar_classes(self, predictor, margin):
+        observations = make_trace(3000)
+        fast = replay_strategy(predictor, margin, observations)
+        predictions, margins, timeouts = replay_strategy_scalar(
+            predictor, margin, observations
+        )
+        np.testing.assert_allclose(
+            fast.predictions, predictions, rtol=0, atol=TOLERANCE
+        )
+        np.testing.assert_allclose(fast.margins, margins, rtol=0, atol=TOLERANCE)
+        np.testing.assert_allclose(fast.timeouts, timeouts, rtol=0, atol=TOLERANCE)
+
+    def test_combination_id_entry_point(self):
+        observations = make_trace(500)
+        by_id = replay_combination("Last+JAC_med", observations)
+        by_name = replay_strategy("Last", "JAC_med", observations)
+        np.testing.assert_array_equal(by_id.timeouts, by_name.timeouts)
+        assert by_id.detector == "Last+JAC_med"
+
+    def test_short_traces(self):
+        for n in (1, 2, 3):
+            observations = make_trace(n)
+            fast = replay_strategy("Mean", "CI_med", observations)
+            _, margins, timeouts = replay_strategy_scalar(
+                "Mean", "CI_med", observations
+            )
+            np.testing.assert_allclose(fast.margins, margins, rtol=0, atol=TOLERANCE)
+            np.testing.assert_allclose(fast.timeouts, timeouts, rtol=0, atol=TOLERANCE)
+
+    def test_constant_trace_zero_sigma(self):
+        observations = np.full(50, 0.125)
+        fast = replay_strategy("Last", "CI_med", observations)
+        _, margins, _ = replay_strategy_scalar("Last", "CI_med", observations)
+        np.testing.assert_allclose(fast.margins, margins, rtol=0, atol=TOLERANCE)
+        assert np.all(fast.margins[1:] == 0.0)  # sigma == 0 -> margin 0
+
+
+class TestDetectorReplay:
+    """Freshness points and suspicion intervals vs the scalar reference."""
+
+    @pytest.mark.parametrize(
+        "combo", [("Last", "JAC_med"), ("Mean", "CI_low"), ("LPF", "JAC_high")]
+    )
+    def test_matches_scalar_reference_with_loss(self, combo):
+        n, eta = 4000, 1.0
+        rng = np.random.default_rng(11)
+        delays = make_trace(n, seed=11, spike_probability=0.02)
+        lost = rng.random(n) < 0.03
+        sends = np.arange(n) * eta
+        fast = replay_detector(
+            combo[0], combo[1], sends, delays, eta=eta, lost=lost, end_time=n * eta
+        )
+        taus, intervals = replay_detector_scalar(
+            combo[0], combo[1], sends, delays, eta=eta, lost=lost, end_time=n * eta
+        )
+        assert len(fast.freshness_points) == len(taus)
+        np.testing.assert_allclose(
+            fast.freshness_points, taus, rtol=0, atol=TOLERANCE
+        )
+        assert len(fast.suspicion_intervals()) == len(intervals)
+        for (a, b), (c, d) in zip(fast.suspicion_intervals(), intervals):
+            assert abs(a - c) < TOLERANCE and abs(b - d) < TOLERANCE
+
+    def test_observe_stale_false_path(self):
+        n, eta = 1000, 1.0
+        delays = make_trace(n, seed=3, spike_probability=0.05)
+        sends = np.arange(n) * eta
+        fast = replay_detector(
+            "Last", "JAC_med", sends, delays, eta=eta,
+            end_time=n * eta, observe_stale=False,
+        )
+        taus, intervals = replay_detector_scalar(
+            "Last", "JAC_med", sends, delays, eta=eta,
+            end_time=n * eta, observe_stale=False,
+        )
+        np.testing.assert_allclose(fast.freshness_points, taus, rtol=0, atol=TOLERANCE)
+        assert len(fast.suspicion_intervals()) == len(intervals)
+
+    def test_all_heartbeats_lost_is_rejected(self):
+        n, eta = 10, 1.0
+        with pytest.raises(ValueError, match="every heartbeat was lost"):
+            replay_detector(
+                "Last", "JAC_med",
+                np.arange(n) * eta, np.full(n, 0.1),
+                eta=eta, lost=np.ones(n, dtype=bool), end_time=50.0,
+            )
+
+    def test_qos_packaging(self):
+        n, eta = 2000, 1.0
+        delays = make_trace(n, seed=9, spike_probability=0.03)
+        fast = replay_detector(
+            "Last", "JAC_low", np.arange(n) * eta, delays, eta=eta, end_time=n * eta
+        )
+        qos = fast.to_detector_qos()
+        assert qos.up_time == n * eta
+        assert len(qos.mistakes) == len(fast.suspicion_intervals())
+        assert qos.suspected_up_time == pytest.approx(
+            float(np.sum(fast.mistake_durations))
+        )
+        if len(qos.mistakes) >= 2:
+            assert len(qos.tmr_samples) == len(qos.mistakes) - 1
+
+
+class TestAcceptanceScale:
+    """The ISSUE acceptance check: 1e-9 agreement on a 30k-point trace."""
+
+    def test_30k_trace_within_1e9(self):
+        n, eta = 30_000, 1.0
+        delays = make_trace(n, seed=2005, spike_probability=0.01)
+        sends = np.arange(n) * eta
+        for combo in (("Mean", "CI_med"), ("LPF", "JAC_med")):
+            fast = replay_detector(
+                combo[0], combo[1], sends, delays, eta=eta, end_time=n * eta
+            )
+            taus, intervals = replay_detector_scalar(
+                combo[0], combo[1], sends, delays, eta=eta, end_time=n * eta
+            )
+            np.testing.assert_allclose(
+                fast.freshness_points, taus, rtol=0, atol=TOLERANCE
+            )
+            assert len(fast.suspicion_intervals()) == len(intervals)
+
+
+class TestEventDrivenEquivalence:
+    """The determinism satellite: simulator vs replay on the same trace."""
+
+    @pytest.mark.parametrize(
+        "combo",
+        [("Last", "JAC_med"), ("Mean", "CI_med"),
+         ("WinMean", "CI_high"), ("LPF", "JAC_low")],
+    )
+    def test_replay_matches_simulator(self, combo):
+        eta, n = 1.0, 2000
+        duration = n * eta
+        delays = make_trace(n + 1, seed=7, spike_probability=0.02)
+        detector_id = "+".join(combo)
+
+        sim = Simulator()
+        system = NekoSystem(sim)
+        system.network.set_link(
+            "monitored", "monitor",
+            TraceDelay(delays, wrap=False), record_delays=False,
+        )
+        log = EventLog()
+        heartbeater = Heartbeater("monitor", eta, log)
+        detector = PushFailureDetector(
+            make_strategy(*combo), "monitored", eta, log,
+            detector_id=detector_id, initial_timeout=10.0 * eta,
+        )
+        system.create_process(
+            "monitored", ProtocolStack([heartbeater]), clock=PerfectClock(sim)
+        )
+        system.create_process(
+            "monitor", ProtocolStack([detector]), clock=PerfectClock(sim)
+        )
+        system.run(until=duration)
+        event_intervals = _suspicion_intervals(list(log), detector_id, duration)
+
+        replayed = replay_detector(
+            combo[0], combo[1],
+            np.arange(heartbeater.sent) * eta, delays[: heartbeater.sent],
+            eta=eta, end_time=duration,
+        )
+        replay_intervals = replayed.suspicion_intervals()
+        assert len(replay_intervals) == len(event_intervals)
+        for (a, b), (c, d) in zip(replay_intervals, event_intervals):
+            assert abs(a - c) < TOLERANCE
+            assert abs(b - d) < TOLERANCE

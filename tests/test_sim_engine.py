@@ -227,3 +227,35 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestPendingCounter:
+    """pending_events is a live O(1) counter, not a heap scan."""
+
+    def test_counts_down_as_events_fire(self, sim):
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.pending_events == 4
+        sim.step()
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_is_a_noop(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        handle.cancel()  # already fired: must not drive the counter negative
+        assert sim.pending_events == 0
+
+    def test_schedule_during_run_is_counted(self, sim):
+        def chain(depth):
+            if depth:
+                sim.schedule_at(sim.now + 1.0, lambda: chain(depth - 1))
+
+        chain(3)
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 3
