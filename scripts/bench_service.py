@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Benchmark the live fleet-monitoring service on loopback UDP.
+
+Runs a :class:`repro.service.MonitorDaemon` and a
+:class:`repro.service.HeartbeatFleet` in one process/event loop — the
+same wiring as the integration tests — and measures what the service
+can sustain:
+
+* heartbeat throughput (datagrams received per second, and the implied
+  detector updates per second: each heartbeat fans out to every live
+  detector combination),
+* intake latency (emitter send timestamp to daemon dispatch; both sides
+  share the epoch-anchored scheduler clock, so this includes the kernel
+  UDP round-trip and any event-loop queueing),
+* the cost of rendering the full fleet's ``/metrics`` exposition.
+
+Results are appended to a JSON file (default ``BENCH_service.json``) so
+successive runs can be compared.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_service.py \
+        [--endpoints 50] [--eta 0.05] [--duration 5.0] \
+        [--detectors 30] [--output BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import os
+import platform
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.fd.combinations import combination_ids  # noqa: E402
+from repro.service import HeartbeatFleet, MonitorDaemon  # noqa: E402
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return math.nan
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+async def _run_benchmark(args: argparse.Namespace) -> Dict:
+    detector_ids = combination_ids()[: args.detectors]
+    daemon = MonitorDaemon(
+        port=0,
+        http_port=None,
+        eta=args.eta,
+        detector_ids=detector_ids,
+        initial_timeout=10.0 * args.eta,
+    )
+    await daemon.start()
+
+    latencies: List[float] = []
+    original_dispatch = daemon.dispatch
+
+    def timed_dispatch(message):
+        if message.kind == "heartbeat" and message.timestamp is not None:
+            latencies.append(daemon.scheduler.now - message.timestamp)
+        original_dispatch(message)
+
+    daemon.dispatch = timed_dispatch
+
+    names = [f"bench{i:03d}" for i in range(args.endpoints)]
+    fleet = HeartbeatFleet(
+        names, daemon.udp_endpoint, eta=args.eta, seed=args.seed
+    )
+    started = time.perf_counter()
+    await fleet.start()
+    await asyncio.sleep(args.duration)
+
+    render_started = time.perf_counter()
+    metrics_text = daemon.metrics_text()
+    render_seconds = time.perf_counter() - render_started
+
+    await fleet.stop()
+    await daemon.stop()
+    elapsed = time.perf_counter() - started
+
+    received = daemon.heartbeats_total
+    sent = fleet.total_sent()
+    return {
+        "endpoints": args.endpoints,
+        "detector_combinations": len(detector_ids),
+        "eta_seconds": args.eta,
+        "duration_seconds": round(elapsed, 3),
+        "heartbeats_sent": sent,
+        "heartbeats_received": received,
+        "delivery_ratio": round(received / sent, 4) if sent else math.nan,
+        "throughput_heartbeats_per_s": round(received / elapsed, 1),
+        "detector_updates_per_s": round(
+            received * len(detector_ids) / elapsed, 1
+        ),
+        "intake_latency_mean_ms": round(
+            1e3 * sum(latencies) / len(latencies), 3
+        )
+        if latencies
+        else math.nan,
+        "intake_latency_p50_ms": round(1e3 * _percentile(latencies, 0.50), 3),
+        "intake_latency_p95_ms": round(1e3 * _percentile(latencies, 0.95), 3),
+        "intake_latency_max_ms": round(1e3 * max(latencies), 3)
+        if latencies
+        else math.nan,
+        "metrics_render_seconds": round(render_seconds, 4),
+        "metrics_bytes": len(metrics_text.encode("utf-8")),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--endpoints", type=int, default=50)
+    parser.add_argument("--eta", type=float, default=0.05)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument(
+        "--detectors",
+        type=int,
+        default=30,
+        help="number of detector combinations per endpoint (1..30)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--output", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+    if not 1 <= args.detectors <= 30:
+        parser.error("--detectors must be in 1..30")
+
+    result = asyncio.run(_run_benchmark(args))
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    result["python"] = platform.python_version()
+
+    history = []
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                history = json.load(handle)
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(result)
+    with open(args.output, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+    print(json.dumps(result, indent=2))
+    print(f"\nappended to {args.output} ({len(history)} run(s) recorded)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

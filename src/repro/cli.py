@@ -10,9 +10,14 @@ Usage (also via ``python -m repro``):
     repro select-order --input delays.txt [--max-p 3 --max-d 2 --max-q 3]
     repro qos          [--cycles 20000] [--runs 5] [--workers N]
                        [--detectors all|id,id,...]
+    repro serve-monitor   [--port 9999] [--http-port 9100] [--eta 1.0]
+    repro serve-heartbeat --names node-1,node-2 [--monitor-port 9999]
+                          [--mttc 120 --ttr 20]
 
 Every subcommand prints its table or figure in the layout of the paper
 (Tables 2-4, Figures 4-8) so terminal output can be compared directly.
+The ``serve-*`` commands instead run the live fleet-monitoring service
+(see ``docs/service.md``) until interrupted or ``--duration`` elapses.
 """
 
 from __future__ import annotations
@@ -126,6 +131,54 @@ def _build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--input", required=True, help="trace file to load")
     calibrate.add_argument("--check-samples", type=int, default=20_000,
                            help="samples for the fitted-profile check")
+
+    monitor = subparsers.add_parser(
+        "serve-monitor",
+        help="run the live fleet-monitoring daemon (online QoS + metrics)",
+    )
+    monitor.add_argument("--host", default="127.0.0.1",
+                         help="UDP bind host for heartbeat intake")
+    monitor.add_argument("--port", type=int, default=9999,
+                         help="UDP bind port (0 = ephemeral)")
+    monitor.add_argument("--http-host", default="127.0.0.1",
+                         help="bind host of the metrics/control HTTP endpoint")
+    monitor.add_argument("--http-port", type=int, default=9100,
+                         help="HTTP port (0 = ephemeral, -1 = disabled)")
+    monitor.add_argument("--eta", type=float, default=1.0,
+                         help="fleet heartbeat period, seconds")
+    monitor.add_argument("--initial-timeout", type=float, default=None,
+                         help="grace before the first heartbeat (default 10*eta)")
+    monitor.add_argument(
+        "--detectors", default="all",
+        help="'all' or comma-separated ids, e.g. Last+JAC_med,Arima+CI_low",
+    )
+    monitor.add_argument("--endpoints", default="",
+                         help="comma-separated endpoints to pre-register")
+    monitor.add_argument("--no-auto-register", action="store_true",
+                         help="only accept pre-registered / HTTP-added endpoints")
+    monitor.add_argument("--duration", type=float, default=0.0,
+                         help="run this many seconds then exit (0 = forever)")
+
+    heartbeat = subparsers.add_parser(
+        "serve-heartbeat",
+        help="run heartbeat emitters (with optional live crash injection)",
+    )
+    heartbeat.add_argument("--names", required=True,
+                           help="comma-separated endpoint names to emit as")
+    heartbeat.add_argument("--monitor-host", default="127.0.0.1",
+                           help="monitor daemon host")
+    heartbeat.add_argument("--monitor-port", type=int, default=9999,
+                           help="monitor daemon UDP port")
+    heartbeat.add_argument("--eta", type=float, default=1.0,
+                           help="heartbeat period, seconds")
+    heartbeat.add_argument("--mttc", type=float, default=0.0,
+                           help="mean time to crash (0 = no crash injection)")
+    heartbeat.add_argument("--ttr", type=float, default=20.0,
+                           help="time to repair, seconds")
+    heartbeat.add_argument("--seed", type=int, default=None,
+                           help="seed for crash draws and start phases")
+    heartbeat.add_argument("--duration", type=float, default=0.0,
+                           help="run this many seconds then exit (0 = forever)")
     return parser
 
 
@@ -261,6 +314,114 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_detectors(spec: str) -> Optional[List[str]]:
+    if spec.strip().lower() == "all":
+        return None
+    detectors = [d.strip() for d in spec.split(",") if d.strip()]
+    if not detectors:
+        raise ValueError("--detectors must name at least one combination")
+    return detectors
+
+
+async def _run_until(duration: float, stoppers) -> None:
+    """Serve until Ctrl-C or ``duration`` seconds, then stop gracefully.
+
+    ``stoppers`` are awaited in order on the way out (daemon/fleet
+    ``stop`` coroutine factories), so shutdown is always the graceful
+    bounded-drain path.
+    """
+    import asyncio
+
+    try:
+        if duration > 0:
+            await asyncio.sleep(duration)
+        else:
+            await asyncio.Event().wait()  # parked until cancelled
+    except asyncio.CancelledError:  # pragma: no cover - signal path
+        pass
+    finally:
+        for stopper in stoppers:
+            await stopper()
+
+
+def _command_serve_monitor(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import MonitorDaemon
+
+    try:
+        detectors = _parse_detectors(args.detectors)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    endpoints = [e.strip() for e in args.endpoints.split(",") if e.strip()]
+    daemon = MonitorDaemon(
+        host=args.host,
+        port=args.port,
+        http_host=args.http_host,
+        http_port=None if args.http_port < 0 else args.http_port,
+        eta=args.eta,
+        detector_ids=detectors,
+        initial_timeout=args.initial_timeout,
+        auto_register=not args.no_auto_register,
+    )
+
+    async def serve() -> None:
+        await daemon.start()
+        for name in endpoints:
+            daemon.add_endpoint(name)
+        host, port = daemon.udp_endpoint
+        n = len(daemon.detector_ids)
+        print(f"monitor: heartbeat intake on udp://{host}:{port} "
+              f"({n} detector combinations per endpoint)")
+        if daemon.http_endpoint is not None:
+            http_host, http_port = daemon.http_endpoint
+            print(f"monitor: metrics on http://{http_host}:{http_port}/metrics "
+                  f"(also /status, /healthz, /endpoints)")
+        await _run_until(args.duration, [daemon.stop])
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return 0
+
+
+def _command_serve_heartbeat(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import HeartbeatFleet
+
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    if not names:
+        print("error: --names must list at least one endpoint", file=sys.stderr)
+        return 2
+    fleet = HeartbeatFleet(
+        names,
+        (args.monitor_host, args.monitor_port),
+        eta=args.eta,
+        mttc=args.mttc if args.mttc > 0 else None,
+        ttr=args.ttr,
+        seed=args.seed,
+    )
+
+    async def serve() -> None:
+        await fleet.start()
+        crashes = (f"crash injection mttc={args.mttc}s ttr={args.ttr}s"
+                   if args.mttc > 0 else "no crash injection")
+        print(f"heartbeat: {len(names)} emitter(s) -> "
+              f"udp://{args.monitor_host}:{args.monitor_port}, "
+              f"eta={args.eta}s, {crashes}")
+        await _run_until(args.duration, [fleet.stop])
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    print(f"heartbeat: sent {fleet.total_sent()} heartbeats")
+    return 0
+
+
 _COMMANDS = {
     "characterize": _command_characterize,
     "accuracy": _command_accuracy,
@@ -269,6 +430,8 @@ _COMMANDS = {
     "qos": _command_qos,
     "report": _command_report,
     "calibrate": _command_calibrate,
+    "serve-monitor": _command_serve_monitor,
+    "serve-heartbeat": _command_serve_heartbeat,
 }
 
 

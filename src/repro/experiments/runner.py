@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.clocks.clock import Clock, DriftingClock, PerfectClock
-from repro.fd.combinations import combination_ids, make_strategy, parse_combination_id
+from repro.fd.bank import make_detector_bank
+from repro.fd.combinations import combination_ids
 from repro.fd.detector import PushFailureDetector
 from repro.fd.heartbeat import Heartbeater
 from repro.fd.multiplexer import MultiPlexer
@@ -175,18 +176,13 @@ def build_qos_system(
     monitored_stack = ProtocolStack([heartbeater, simcrash])
 
     initial_timeout = config.extras.get("initial_timeout", 10.0 * config.eta)
-    detectors: Dict[str, PushFailureDetector] = {}
-    for detector_id in detector_ids:
-        predictor_name, margin_name = parse_combination_id(detector_id)
-        strategy = make_strategy(predictor_name, margin_name)
-        detectors[detector_id] = PushFailureDetector(
-            strategy,
-            MONITORED,
-            config.eta,
-            event_log,
-            detector_id=detector_id,
-            initial_timeout=initial_timeout,
-        )
+    detectors: Dict[str, PushFailureDetector] = make_detector_bank(
+        MONITORED,
+        config.eta,
+        event_log,
+        detector_ids,
+        initial_timeout=initial_timeout,
+    )
     uppers: List[Layer] = list(detectors.values())
     if extra_monitor_layers is not None:
         uppers.extend(extra_monitor_layers(event_log))

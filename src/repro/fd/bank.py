@@ -1,0 +1,80 @@
+"""Detector-bank construction shared by the batch runner and the live service.
+
+Both execution modes — the discrete-event campaign of
+:mod:`repro.experiments.runner` and the long-running monitoring daemon of
+:mod:`repro.service` — want the same thing: one
+:class:`~repro.fd.detector.PushFailureDetector` per (predictor, margin)
+combination, all watching the same monitored address, ready to be fanned
+out to by a :class:`~repro.fd.multiplexer.MultiPlexer`.  Building them in
+one place keeps the two modes comparable by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.fd.combinations import combination_ids, make_strategy, parse_combination_id
+from repro.fd.detector import PushFailureDetector
+from repro.nekostat.log import EventLog
+
+#: Signature of the per-detector transition-hook factory: given a detector
+#: id, return the ``on_transition(suspecting)`` callback for that detector
+#: (or ``None`` for no hook).
+TransitionHookFactory = Callable[[str], Optional[Callable[[bool], None]]]
+
+
+def make_detector_bank(
+    monitored: str,
+    eta: float,
+    event_log: EventLog,
+    detector_ids: Optional[Sequence[str]] = None,
+    *,
+    initial_timeout: float = 10.0,
+    observe_stale: bool = True,
+    on_transition_factory: Optional[TransitionHookFactory] = None,
+) -> Dict[str, PushFailureDetector]:
+    """Build one fresh detector per combination id, keyed by id.
+
+    Parameters
+    ----------
+    monitored:
+        Address of the process the bank watches.
+    eta:
+        The heartbeat period, seconds.
+    event_log:
+        Shared log receiving ``START_SUSPECT``/``END_SUSPECT`` events.
+    detector_ids:
+        Combination ids to instantiate (default: all thirty).
+    initial_timeout:
+        Grace period before the first heartbeat.
+    observe_stale:
+        Whether stale-heartbeat delays feed the strategies.
+    on_transition_factory:
+        Optional hook factory; its return value becomes each detector's
+        ``on_transition`` callback (the live service plugs its streaming
+        QoS accumulators in here).
+    """
+    if detector_ids is None:
+        detector_ids = combination_ids()
+    bank: Dict[str, PushFailureDetector] = {}
+    for detector_id in detector_ids:
+        predictor_name, margin_name = parse_combination_id(detector_id)
+        hook = (
+            on_transition_factory(detector_id)
+            if on_transition_factory is not None
+            else None
+        )
+        bank[detector_id] = PushFailureDetector(
+            make_strategy(predictor_name, margin_name),
+            monitored,
+            eta,
+            event_log,
+            detector_id=detector_id,
+            initial_timeout=initial_timeout,
+            observe_stale=observe_stale,
+            on_transition=hook,
+        )
+    return bank
+
+
+__all__ = ["TransitionHookFactory", "make_detector_bank"]

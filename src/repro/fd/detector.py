@@ -118,6 +118,16 @@ class PushFailureDetector(Layer):
         """The ``delta = pred + sm`` currently in force, in seconds."""
         return self.strategy.timeout()
 
+    def stop(self) -> None:
+        """Cancel the pending expiry so the detector goes quiescent.
+
+        Used by the live monitoring service on endpoint removal and
+        daemon shutdown; the detector keeps its state and can be
+        re-armed by the next fresh heartbeat if traffic resumes.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+
     def update_eta(self, new_eta: float) -> None:
         """Adopt a renegotiated sending period (see
         :mod:`repro.fd.adaptive_interval`).

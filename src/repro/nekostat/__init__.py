@@ -19,7 +19,12 @@ any new detector is evaluated by the same unmodified code.
 from repro.nekostat.events import EventKind, StatEvent
 from repro.nekostat.log import EventLog
 from repro.nekostat.handler import FDStatHandler, StatHandler
-from repro.nekostat.metrics import DetectorQos, MistakeInterval, extract_qos
+from repro.nekostat.metrics import (
+    DetectorQos,
+    MistakeInterval,
+    OnlineQosAccumulator,
+    extract_qos,
+)
 from repro.nekostat.quantities import (
     CounterQuantity,
     IntervalQuantity,
@@ -43,6 +48,7 @@ __all__ = [
     "FDStatHandler",
     "IntervalQuantity",
     "MistakeInterval",
+    "OnlineQosAccumulator",
     "Quantity",
     "QuantitySet",
     "SeriesQuantity",

@@ -278,4 +278,223 @@ def _up_windows(
     return windows
 
 
-__all__ = ["DetectorQos", "MistakeInterval", "extract_qos"]
+class OnlineQosAccumulator:
+    """Streaming QoS: the same metrics as :func:`extract_qos`, updated on
+    every transition instead of from a finished log.
+
+    A long-running monitoring service cannot afford to keep (or re-scan)
+    an unbounded event log, so this accumulator consumes the four
+    transition kinds as they happen —
+
+    * :meth:`observe_suspect` / :meth:`observe_trust` from the detector
+      (e.g. via :class:`~repro.fd.detector.PushFailureDetector`'s
+      ``on_transition`` hook);
+    * :meth:`observe_crash` / :meth:`observe_restore` from whichever
+      oracle knows the monitored process's true state (the live crash
+      injector, an orchestrator, a liveness probe);
+
+    — and :meth:`snapshot` materialises a :class:`DetectorQos` at any
+    instant, closing open intervals exactly the way the batch extractor
+    closes them at ``end_time``.  Feeding the same transition sequence to
+    both paths yields identical samples (the property tests assert this).
+
+    Events must arrive in non-decreasing time order.  At equal
+    timestamps, feed ``restore`` before ``crash`` before the detector
+    transitions — the order the batch extractor's interval semantics
+    imply (a suspicion starting at the restore instant counts as raised
+    while up; one starting at the crash instant counts as raised during
+    the crash).
+
+    The only intentional divergence from the batch path is the
+    ``1e-9``-wide epsilon window at a restore instant: a suspicion whose
+    end falls *within* epsilon before the restore is credited as a
+    detection by the batch scan but not by the online one (the trust
+    transition has already been consumed).  No physical run can observe
+    the difference.
+    """
+
+    def __init__(self, detector: str, *, start_time: float = 0.0) -> None:
+        self.detector = detector
+        self.start_time = float(start_time)
+        self._last_time = float(start_time)
+        # Monitored-process state.
+        self._crashed = False
+        self._crash_start = 0.0
+        self._crashed_total = 0.0
+        # Detector state.
+        self._suspecting = False
+        self._suspicion_start = 0.0
+        self._suspicion_up = False  # raised while the process was up?
+        self._suspicion_permanent = False  # already credited as a detection?
+        # Accumulated samples.
+        self._td_samples: List[float] = []
+        self._undetected = 0
+        self._mistakes: List[MistakeInterval] = []
+        self._tmr_samples: List[float] = []
+        self._last_mistake_start: Optional[float] = None
+        self._suspected_up_time = 0.0
+        # Monotonically increasing transition counter (for exporters).
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def suspecting(self) -> bool:
+        """Whether the detector is currently suspecting."""
+        return self._suspecting
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the monitored process is currently (known) crashed."""
+        return self._crashed
+
+    @property
+    def last_time(self) -> float:
+        """The time of the most recent observed transition."""
+        return self._last_time
+
+    # ------------------------------------------------------------------
+    # Transition intake
+    # ------------------------------------------------------------------
+    def _advance(self, t: float) -> None:
+        if t < self._last_time:
+            raise ValueError(
+                f"detector {self.detector!r}: transition at t={t:.9f} after "
+                f"t={self._last_time:.9f}; transitions must be time-ordered"
+            )
+        if self._suspecting and not self._crashed:
+            self._suspected_up_time += t - self._last_time
+        self._last_time = t
+
+    def observe_suspect(self, t: float) -> None:
+        """The detector started suspecting at time ``t``."""
+        self._advance(t)
+        if self._suspecting:
+            raise ValueError(
+                f"detector {self.detector!r}: suspect while already suspecting"
+            )
+        self._suspecting = True
+        self._suspicion_start = t
+        self._suspicion_up = not self._crashed
+        self._suspicion_permanent = False
+        self.transitions += 1
+
+    def observe_trust(self, t: float) -> None:
+        """The detector stopped suspecting at time ``t``."""
+        self._advance(t)
+        if not self._suspecting:
+            raise ValueError(
+                f"detector {self.detector!r}: trust while not suspecting"
+            )
+        if not self._suspicion_permanent and self._suspicion_up:
+            self._record_mistake(self._suspicion_start, t)
+        self._suspecting = False
+        self.transitions += 1
+
+    def observe_transition(self, suspecting: bool, t: float) -> None:
+        """Detector-hook adapter: dispatch on the transition direction."""
+        if suspecting:
+            self.observe_suspect(t)
+        else:
+            self.observe_trust(t)
+
+    def observe_crash(self, t: float) -> None:
+        """The monitored process crashed at time ``t``."""
+        self._advance(t)
+        if self._crashed:
+            raise ValueError(
+                f"detector {self.detector!r}: crash while already crashed"
+            )
+        self._crashed = True
+        self._crash_start = t
+
+    def observe_restore(self, t: float) -> None:
+        """The monitored process was restored at time ``t``.
+
+        This is the instant the crash's detection verdict is known: the
+        *permanent* suspicion (the one still standing now) yields a
+        ``T_D`` sample; no standing suspicion means the crash went
+        undetected.
+        """
+        self._advance(t)
+        if not self._crashed:
+            raise ValueError(
+                f"detector {self.detector!r}: restore while not crashed"
+            )
+        if self._suspecting and self._suspicion_start < t - _EPS:
+            self._td_samples.append(
+                max(0.0, self._suspicion_start - self._crash_start)
+            )
+            self._suspicion_permanent = True
+        else:
+            self._undetected += 1
+        self._crashed_total += t - self._crash_start
+        self._crashed = False
+
+    def _record_mistake(self, start: float, end: float) -> None:
+        self._mistakes.append(MistakeInterval(start=start, end=end))
+        if self._last_mistake_start is not None:
+            self._tmr_samples.append(start - self._last_mistake_start)
+        self._last_mistake_start = start
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> DetectorQos:
+        """The QoS so far, as if the run had ended at ``now``.
+
+        Open intervals are closed at ``now`` without mutating the
+        accumulator, mirroring the batch extractor's ``end_time``
+        handling: an open crash is judged (detection or undetected), an
+        open non-permanent suspicion raised while up becomes a mistake.
+        """
+        if now is None:
+            now = self._last_time
+        if now < self._last_time:
+            raise ValueError(
+                f"snapshot at t={now:.9f} before last transition "
+                f"t={self._last_time:.9f}"
+            )
+        qos = DetectorQos(
+            detector=self.detector,
+            td_samples=list(self._td_samples),
+            undetected_crashes=self._undetected,
+            mistakes=list(self._mistakes),
+            tmr_samples=list(self._tmr_samples),
+        )
+        suspected_up = self._suspected_up_time
+        crashed_total = self._crashed_total
+        permanent = self._suspicion_permanent
+        if self._suspecting and not self._crashed:
+            suspected_up += now - self._last_time
+        if self._crashed:
+            crash_end = max(self._crash_start, now)
+            if self._suspecting and self._suspicion_start < crash_end - _EPS:
+                qos.td_samples.append(
+                    max(0.0, self._suspicion_start - self._crash_start)
+                )
+                permanent = True
+            else:
+                qos.undetected_crashes += 1
+            crashed_total += crash_end - self._crash_start
+        if self._suspecting and not permanent and self._suspicion_up:
+            start = self._suspicion_start
+            qos.mistakes.append(
+                MistakeInterval(start=start, end=max(start, now))
+            )
+            if self._last_mistake_start is not None:
+                qos.tmr_samples.append(start - self._last_mistake_start)
+        observation = max(0.0, now - self.start_time)
+        qos.observation_time = observation
+        qos.up_time = max(0.0, observation - crashed_total)
+        qos.suspected_up_time = suspected_up
+        return qos
+
+
+__all__ = [
+    "DetectorQos",
+    "MistakeInterval",
+    "OnlineQosAccumulator",
+    "extract_qos",
+]

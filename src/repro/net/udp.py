@@ -68,6 +68,9 @@ class WallClockScheduler:
     def __init__(self, dispatch_lock: Optional[threading.Lock] = None) -> None:
         self._t0 = time.monotonic()
         self._lock = dispatch_lock if dispatch_lock is not None else threading.Lock()
+        self._registry_lock = threading.Lock()
+        self._handles: "set[_TimerHandle]" = set()
+        self._closed = False
 
     @property
     def dispatch_lock(self) -> threading.Lock:
@@ -88,22 +91,30 @@ class WallClockScheduler:
         name: str = "",
     ) -> _TimerHandle:
         """Run ``callback`` after ``delay`` wall-clock seconds."""
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
         if delay < 0:
             delay = 0.0
         handle_box: list = []
 
         def guarded() -> None:
             handle = handle_box[0]
-            if handle.cancelled:
-                return
-            with self._lock:
-                if not handle.cancelled:
-                    callback()
+            try:
+                if handle.cancelled:
+                    return
+                with self._lock:
+                    if not handle.cancelled:
+                        callback()
+            finally:
+                with self._registry_lock:
+                    self._handles.discard(handle)
 
         timer = threading.Timer(delay, guarded)
         timer.daemon = True
         handle = _TimerHandle(timer, self.now + delay, name)
         handle_box.append(handle)
+        with self._registry_lock:
+            self._handles.add(handle)
         timer.start()
         return handle
 
@@ -124,8 +135,35 @@ class WallClockScheduler:
         if remaining > 0:
             time.sleep(remaining)
 
+    def close(self, *, timeout: float = 1.0) -> None:
+        """Cancel outstanding timers and join in-flight callbacks.
 
-def _encode(message: Datagram) -> bytes:
+        After close, :meth:`schedule` raises — a shutting-down daemon
+        must not be able to leak a fresh timer thread.  ``timeout``
+        bounds the total time spent joining (a callback stuck under the
+        dispatch lock cannot stall shutdown forever).  Idempotent; must
+        not be called from inside a timer callback.
+        """
+        self._closed = True
+        with self._registry_lock:
+            handles = list(self._handles)
+            self._handles.clear()
+        for handle in handles:
+            handle.cancel()
+        deadline = time.monotonic() + max(0.0, timeout)
+        for handle in handles:
+            thread = handle._timer
+            if thread is threading.current_thread():  # pragma: no cover
+                continue
+            thread.join(max(0.0, deadline - time.monotonic()))
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+
+def encode_datagram(message: Datagram) -> bytes:
     payload = {
         "source": message.source,
         "destination": message.destination,
@@ -138,7 +176,7 @@ def _encode(message: Datagram) -> bytes:
     return json.dumps(payload).encode("utf-8")
 
 
-def _decode(raw: bytes) -> Datagram:
+def decode_datagram(raw: bytes) -> Datagram:
     data = json.loads(raw.decode("utf-8"))
     return Datagram(
         source=data["source"],
@@ -213,7 +251,7 @@ class UdpNetwork:
             # Unknown destination: fair-lossy links may drop, and UDP to a
             # closed port is exactly that.
             return
-        raw = _encode(message)
+        raw = encode_datagram(message)
         if len(raw) > self.MAX_DATAGRAM:
             raise ValueError(f"datagram too large: {len(raw)} bytes")
         source_socket = self._sockets.get(message.source)
@@ -249,7 +287,7 @@ class UdpNetwork:
             except OSError:
                 return  # socket closed during shutdown
             try:
-                message = _decode(raw)
+                message = decode_datagram(raw)
             except (ValueError, KeyError):
                 continue  # corrupted datagram: drop (fair-lossy)
             with self._scheduler.dispatch_lock:
@@ -273,4 +311,9 @@ class UdpNetwork:
         self.close()
 
 
-__all__ = ["UdpNetwork", "WallClockScheduler"]
+__all__ = [
+    "UdpNetwork",
+    "WallClockScheduler",
+    "decode_datagram",
+    "encode_datagram",
+]

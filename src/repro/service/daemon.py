@@ -1,0 +1,298 @@
+"""The long-running fleet-monitoring daemon.
+
+One UDP socket receives the whole fleet's traffic (the wire format of
+:mod:`repro.net.udp`); datagrams are routed to per-endpoint monitors by
+their ``source`` address.  Three datagram kinds are understood:
+
+* ``"heartbeat"`` — fanned out to the endpoint's thirty detector
+  combinations through its MultiPlexer;
+* ``"crash"`` / ``"restore"`` — instrumentation from the live crash
+  injector (the real-network analogue of NekoStat's merged event log);
+  they feed the streaming QoS accumulators so end-to-end ``T_D`` is
+  measurable.
+
+Unknown sources are auto-registered by default (a fleet can simply start
+sending), or rejected when ``auto_register=False`` and endpoints are
+managed explicitly via :meth:`MonitorDaemon.add_endpoint` / the HTTP API.
+
+Shutdown is graceful with a bounded drain: intake stops first (UDP
+transport closed), in-flight HTTP responses get up to ``drain`` seconds
+to finish, then every detector timer is cancelled and the scheduler is
+closed so nothing can leak.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.fd.combinations import combination_ids
+from repro.net.message import Datagram
+from repro.net.udp import decode_datagram
+from repro.service.exporter import render_prometheus, render_status
+from repro.service.registry import EndpointMonitor, EndpointRegistry
+from repro.service.runtime import AsyncioScheduler, ServiceSystem
+
+
+class _MonitorProtocol(asyncio.DatagramProtocol):
+    def __init__(self, daemon: "MonitorDaemon") -> None:
+        self._daemon = daemon
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self._daemon._on_datagram(data, addr)
+
+
+class MonitorDaemon:
+    """A standing failure-detection service for a fleet of endpoints.
+
+    Parameters
+    ----------
+    host, port:
+        UDP bind address for heartbeat intake (port 0 = ephemeral).
+    http_host, http_port:
+        Bind address of the metrics/control HTTP endpoint; ``None``
+        disables HTTP entirely.
+    eta:
+        Fleet-wide heartbeat period the emitters were configured with.
+    detector_ids:
+        Combination ids to run per endpoint (default: all thirty).
+    initial_timeout:
+        Grace period before an endpoint's first heartbeat (default
+        ``10 * eta``, as in the batch runner).
+    auto_register:
+        Whether heartbeats from unknown sources create endpoints.
+    address:
+        The daemon's own address carried as datagram ``destination`` by
+        well-behaved emitters (not currently enforced).
+    log_capacity:
+        Bounded per-endpoint event-log tail retained for debugging.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_host: str = "127.0.0.1",
+        http_port: Optional[int] = 0,
+        eta: float = 1.0,
+        detector_ids: Optional[Sequence[str]] = None,
+        initial_timeout: Optional[float] = None,
+        auto_register: bool = True,
+        address: str = "monitor",
+        log_capacity: int = 4096,
+        max_endpoints: int = 10_000,
+    ) -> None:
+        if eta <= 0:
+            raise ValueError(f"eta must be > 0, got {eta!r}")
+        self._host = host
+        self._port = port
+        self._http_host = http_host
+        self._http_port = http_port
+        self.eta = float(eta)
+        self.detector_ids = (
+            list(detector_ids) if detector_ids is not None else combination_ids()
+        )
+        self.initial_timeout = (
+            float(initial_timeout)
+            if initial_timeout is not None
+            else 10.0 * self.eta
+        )
+        self.auto_register = bool(auto_register)
+        self.address = address
+        self._log_capacity = log_capacity
+        self._max_endpoints = max_endpoints
+
+        self._scheduler: Optional[AsyncioScheduler] = None
+        self._system: Optional[ServiceSystem] = None
+        self._registry: Optional[EndpointRegistry] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._http_server = None  # MetricsHttpServer, created in start()
+        self._started_at = 0.0
+        self._running = False
+        # Fleet-level counters.
+        self.heartbeats_total = 0
+        self.dropped_datagrams = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the UDP intake (and HTTP endpoint) on the running loop."""
+        if self._running:
+            raise RuntimeError("daemon already started")
+        loop = asyncio.get_running_loop()
+        self._scheduler = AsyncioScheduler(loop)
+        self._system = ServiceSystem(self._scheduler, self._send)
+        self._registry = EndpointRegistry(
+            self._system,
+            eta=self.eta,
+            detector_ids=self.detector_ids,
+            initial_timeout=self.initial_timeout,
+            log_capacity=self._log_capacity,
+            max_endpoints=self._max_endpoints,
+        )
+        transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _MonitorProtocol(self),
+            local_addr=(self._host, self._port),
+        )
+        self._transport = transport
+        if self._http_port is not None:
+            from repro.service.http import MetricsHttpServer
+
+            self._http_server = MetricsHttpServer(
+                self, host=self._http_host, port=self._http_port
+            )
+            await self._http_server.start()
+        self._started_at = self._scheduler.now
+        self._running = True
+
+    async def stop(self, *, drain: float = 1.0) -> None:
+        """Graceful shutdown with bounded drain (idempotent).
+
+        Closes intake first, gives in-flight HTTP handlers up to
+        ``drain`` seconds, then quiesces every endpoint and cancels all
+        outstanding timers.
+        """
+        if not self._running:
+            return
+        self._running = False
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        if self._http_server is not None:
+            await self._http_server.stop(drain=drain)
+            self._http_server = None
+        if self._registry is not None:
+            self._registry.close()
+        if self._scheduler is not None:
+            self._scheduler.close()
+        # One loop turn so transport close callbacks run before we return.
+        await asyncio.sleep(0)
+
+    @property
+    def running(self) -> bool:
+        """Whether the daemon is started and serving."""
+        return self._running
+
+    @property
+    def scheduler(self) -> AsyncioScheduler:
+        """The daemon's scheduler (after :meth:`start`)."""
+        if self._scheduler is None:
+            raise RuntimeError("daemon is not started")
+        return self._scheduler
+
+    @property
+    def registry(self) -> EndpointRegistry:
+        """The endpoint registry (after :meth:`start`)."""
+        if self._registry is None:
+            raise RuntimeError("daemon is not started")
+        return self._registry
+
+    @property
+    def udp_endpoint(self) -> Tuple[str, int]:
+        """The bound (host, port) of the heartbeat intake socket."""
+        if self._transport is None:
+            raise RuntimeError("daemon is not started")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    @property
+    def http_endpoint(self) -> Optional[Tuple[str, int]]:
+        """The bound (host, port) of the HTTP endpoint, if enabled."""
+        if self._http_server is None:
+            return None
+        return self._http_server.endpoint
+
+    # ------------------------------------------------------------------
+    # Endpoint management
+    # ------------------------------------------------------------------
+    def add_endpoint(self, name: str) -> EndpointMonitor:
+        """Register ``name`` and spin up its thirty detectors."""
+        return self.registry.add(name)
+
+    def remove_endpoint(self, name: str) -> EndpointMonitor:
+        """Deregister ``name``, quiescing its detectors."""
+        return self.registry.remove(name)
+
+    # ------------------------------------------------------------------
+    # Datagram intake
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
+        try:
+            message = decode_datagram(data)
+        except (ValueError, KeyError):
+            self.dropped_datagrams += 1
+            return
+        self.dispatch(message)
+
+    def dispatch(self, message: Datagram) -> None:
+        """Route one decoded datagram (also the socket-less test entry)."""
+        registry = self._registry
+        if registry is None:
+            return
+        monitor = registry.get(message.source)
+        if message.kind == "heartbeat":
+            if monitor is None:
+                if not self.auto_register:
+                    self.dropped_datagrams += 1
+                    return
+                try:
+                    monitor = registry.add(message.source)
+                except (RuntimeError, ValueError):
+                    self.dropped_datagrams += 1
+                    return
+            self.heartbeats_total += 1
+            monitor.deliver(message)
+        elif message.kind == "crash":
+            if monitor is None:
+                self.dropped_datagrams += 1
+                return
+            monitor.record_crash()
+        elif message.kind == "restore":
+            if monitor is None:
+                self.dropped_datagrams += 1
+                return
+            monitor.record_restore()
+        else:
+            self.dropped_datagrams += 1
+
+    def _send(self, message: Datagram) -> None:
+        # Monitor-side layers are receive-only today; outbound datagrams
+        # (a future pull-style detector) would need a peer table first.
+        self.dropped_datagrams += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The JSON-able status document (also feeds ``/metrics``)."""
+        now = self.scheduler.now
+        endpoints: Dict[str, Any] = {}
+        for monitor in self.registry:
+            suspecting = monitor.suspecting()
+            endpoints[monitor.name] = {
+                "heartbeats": monitor.heartbeats,
+                "crashes": monitor.crashes,
+                "crashed": monitor.crashed,
+                "qos": {
+                    detector_id: (qos, suspecting[detector_id])
+                    for detector_id, qos in monitor.snapshot(now).items()
+                },
+            }
+        return render_status(
+            uptime_seconds=max(0.0, now - self._started_at),
+            heartbeats_total=self.heartbeats_total,
+            dropped_datagrams_total=self.dropped_datagrams,
+            endpoints=endpoints,
+        )
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition of :meth:`status`."""
+        return render_prometheus(self.status())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = len(self._registry) if self._registry is not None else 0
+        return f"MonitorDaemon(endpoints={n}, running={self._running})"
+
+
+__all__ = ["MonitorDaemon"]

@@ -1,0 +1,202 @@
+"""Metrics rendering: Prometheus text format and JSON status.
+
+Renders the daemon's per-endpoint, per-detector streaming QoS into the
+Prometheus 0.0.4 text exposition format (``# HELP``/``# TYPE`` headers,
+one sample line per labelled series) and into a JSON-able status
+document.  Metric names follow the paper's vocabulary:
+
+===========================================  ================================
+metric                                       meaning
+===========================================  ================================
+``fd_qos_detection_time_seconds``            mean ``T_D`` so far
+``fd_qos_detection_time_max_seconds``        ``T_D^U`` so far
+``fd_qos_mistake_duration_seconds``          mean ``T_M`` so far
+``fd_qos_mistake_recurrence_seconds``        mean ``T_MR`` so far
+``fd_qos_query_accuracy_probability``        ``P_A`` so far
+``fd_qos_mistakes_total``                    mistake count
+``fd_qos_undetected_crashes_total``          crashes with no permanent
+                                             suspicion
+``fd_suspecting``                            current verdict (0/1)
+===========================================  ================================
+
+All QoS series carry ``endpoint`` and ``detector`` labels; series with no
+sample yet are emitted as ``NaN`` (the Prometheus convention for "no
+observation", distinguishable from a legitimate zero).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.nekostat.metrics import DetectorQos
+
+_QOS_GAUGES = (
+    (
+        "fd_qos_detection_time_seconds",
+        "Mean detection time T_D observed so far",
+    ),
+    (
+        "fd_qos_detection_time_max_seconds",
+        "Maximum detection time T_D^U observed so far",
+    ),
+    (
+        "fd_qos_mistake_duration_seconds",
+        "Mean mistake duration T_M observed so far",
+    ),
+    (
+        "fd_qos_mistake_recurrence_seconds",
+        "Mean mistake recurrence time T_MR observed so far",
+    ),
+    (
+        "fd_qos_query_accuracy_probability",
+        "Query accuracy probability P_A so far",
+    ),
+)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    return repr(float(value))
+
+
+def _qos_values(qos: DetectorQos) -> Dict[str, Optional[float]]:
+    t_d = qos.t_d
+    t_m = qos.t_m
+    t_mr = qos.t_mr
+    return {
+        "fd_qos_detection_time_seconds": t_d.mean if t_d else None,
+        "fd_qos_detection_time_max_seconds": qos.t_d_upper,
+        "fd_qos_mistake_duration_seconds": t_m.mean if t_m else None,
+        "fd_qos_mistake_recurrence_seconds": t_mr.mean if t_mr else None,
+        "fd_qos_query_accuracy_probability": qos.p_a,
+    }
+
+
+def render_prometheus(status: Dict[str, Any]) -> str:
+    """Render a :func:`repro.service.daemon.MonitorDaemon.status` document
+    as Prometheus text exposition format."""
+    lines: List[str] = []
+
+    def gauge(name: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+
+    def counter(name: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+
+    gauge("fd_service_uptime_seconds", "Daemon uptime")
+    lines.append(
+        f"fd_service_uptime_seconds {_format_value(status['uptime_seconds'])}"
+    )
+    gauge("fd_service_endpoints", "Registered heartbeat endpoints")
+    lines.append(f"fd_service_endpoints {len(status['endpoints'])}")
+    counter("fd_service_heartbeats_total", "Heartbeats received by the daemon")
+    lines.append(f"fd_service_heartbeats_total {status['heartbeats_total']}")
+    counter(
+        "fd_service_dropped_datagrams_total",
+        "Datagrams dropped (malformed, unknown endpoint, unknown kind)",
+    )
+    lines.append(
+        f"fd_service_dropped_datagrams_total {status['dropped_datagrams_total']}"
+    )
+
+    endpoints: Dict[str, Any] = status["endpoints"]
+
+    counter("fd_endpoint_heartbeats_total", "Heartbeats received per endpoint")
+    for name in sorted(endpoints):
+        label = _escape_label(name)
+        lines.append(
+            f'fd_endpoint_heartbeats_total{{endpoint="{label}"}} '
+            f"{endpoints[name]['heartbeats']}"
+        )
+    gauge("fd_endpoint_crashed", "Whether the endpoint is currently crashed")
+    for name in sorted(endpoints):
+        label = _escape_label(name)
+        lines.append(
+            f'fd_endpoint_crashed{{endpoint="{label}"}} '
+            f"{1 if endpoints[name]['crashed'] else 0}"
+        )
+
+    for metric, help_text in _QOS_GAUGES:
+        gauge(metric, help_text)
+        for name in sorted(endpoints):
+            label = _escape_label(name)
+            for detector_id in sorted(endpoints[name]["detectors"]):
+                entry = endpoints[name]["detectors"][detector_id]
+                value = entry[metric]
+                lines.append(
+                    f'{metric}{{endpoint="{label}",'
+                    f'detector="{_escape_label(detector_id)}"}} '
+                    f"{_format_value(value)}"
+                )
+
+    counter("fd_qos_mistakes_total", "Mistakes (erroneous suspicions) so far")
+    counter(
+        "fd_qos_undetected_crashes_total",
+        "Crashes with no permanent suspicion",
+    )
+    gauge("fd_suspecting", "Current detector verdict (1 = suspecting)")
+    for metric in (
+        "fd_qos_mistakes_total",
+        "fd_qos_undetected_crashes_total",
+        "fd_suspecting",
+    ):
+        for name in sorted(endpoints):
+            label = _escape_label(name)
+            for detector_id in sorted(endpoints[name]["detectors"]):
+                entry = endpoints[name]["detectors"][detector_id]
+                lines.append(
+                    f'{metric}{{endpoint="{label}",'
+                    f'detector="{_escape_label(detector_id)}"}} '
+                    f"{entry[metric]}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_status(
+    *,
+    uptime_seconds: float,
+    heartbeats_total: int,
+    dropped_datagrams_total: int,
+    endpoints: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Assemble the JSON-able status document shared by ``/status`` and
+    :func:`render_prometheus`.
+
+    ``endpoints`` maps endpoint name to a dict with ``heartbeats``,
+    ``crashes``, ``crashed``, and per-detector ``(DetectorQos,
+    suspecting)`` pairs under ``qos``.
+    """
+    rendered: Dict[str, Any] = {}
+    for name, info in endpoints.items():
+        detectors: Dict[str, Any] = {}
+        for detector_id, (qos, suspecting) in info["qos"].items():
+            entry: Dict[str, Any] = dict(_qos_values(qos))
+            entry["fd_qos_mistakes_total"] = len(qos.mistakes)
+            entry["fd_qos_undetected_crashes_total"] = qos.undetected_crashes
+            entry["fd_suspecting"] = 1 if suspecting else 0
+            entry["detection_samples"] = len(qos.td_samples)
+            entry["empirical_p_a"] = qos.empirical_p_a
+            detectors[detector_id] = entry
+        rendered[name] = {
+            "heartbeats": info["heartbeats"],
+            "crashes": info["crashes"],
+            "crashed": info["crashed"],
+            "detectors": detectors,
+        }
+    return {
+        "uptime_seconds": uptime_seconds,
+        "heartbeats_total": heartbeats_total,
+        "dropped_datagrams_total": dropped_datagrams_total,
+        "endpoints": rendered,
+    }
+
+
+__all__ = ["render_prometheus", "render_status"]

@@ -1,0 +1,344 @@
+"""Asyncio heartbeat emitters with a SimCrash-style live crash injector.
+
+The sending side of the live service: each :class:`HeartbeatEmitter`
+plays the paper's monitored process ``q`` — a heartbeat every ``eta``
+seconds, sequence numbers advancing with time even across crash periods
+(exactly the :class:`~repro.fd.simcrash.SimCrash` semantics: while
+"crashed" the messages are suppressed, not renumbered).
+
+Crashes are injected by :class:`LiveCrashInjector` with the paper's
+timing — time-to-crash uniform in ``[MTTC/2, 3*MTTC/2]``, constant TTR —
+or on demand via :meth:`HeartbeatEmitter.crash`.  Because there is no
+shared simulator log on a real network, the emitter announces crash and
+restore instants with ``"crash"``/``"restore"`` control datagrams: the
+live analogue of NekoStat's merged event log, instrumentation that makes
+end-to-end ``T_D`` measurable.  (UDP may lose a control datagram; the
+monitor tolerates duplicates, and a lost pair simply costs one ``T_D``
+sample.)
+
+:class:`HeartbeatFleet` runs many emitters on one socket and one event
+loop — the shape both the integration tests and the service benchmark
+use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.message import Datagram
+from repro.net.udp import encode_datagram
+from repro.service.runtime import AsyncioScheduler
+
+
+class HeartbeatEmitter:
+    """One monitored process: periodic heartbeats plus crash semantics."""
+
+    def __init__(
+        self,
+        name: str,
+        send: Callable[[Datagram], None],
+        scheduler: AsyncioScheduler,
+        *,
+        eta: float,
+        monitor_address: str = "monitor",
+        phase: float = 0.0,
+    ) -> None:
+        if eta <= 0:
+            raise ValueError(f"eta must be > 0, got {eta!r}")
+        if not name:
+            raise ValueError("emitter name must be non-empty")
+        self.name = name
+        self.eta = float(eta)
+        self.monitor_address = monitor_address
+        self._send = send
+        self._scheduler = scheduler
+        self._phase = float(phase)
+        self._origin = 0.0
+        self._tick = 0
+        self._handle = None
+        self._running = False
+        self._crashed = False
+        self.sent = 0
+        self.suppressed = 0
+        self.crash_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin beating; the first heartbeat fires after ``phase``."""
+        if self._running:
+            return
+        self._running = True
+        self._origin = self._scheduler.now + self._phase
+        self._tick = 0
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop beating (no restore/crash control is sent)."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the emitter is started."""
+        return self._running
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the emitter is currently simulating a crash."""
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # Crash semantics
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Enter a crash period: announce it, then fall silent."""
+        if self._crashed:
+            return
+        self._announce("crash")
+        self._crashed = True
+        self.crash_count += 1
+
+    def restore(self) -> None:
+        """Leave the crash period: resume beating, then announce it."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._announce("restore")
+
+    def _announce(self, kind: str) -> None:
+        self._send(
+            Datagram(
+                source=self.name,
+                destination=self.monitor_address,
+                kind=kind,
+                timestamp=self._scheduler.now,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Beating
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        # Multiplicative deadlines (origin + k * eta) so float error does
+        # not accumulate over long uptimes, matching PeriodicTimer.
+        when = self._origin + self._tick * self.eta
+        self._handle = self._scheduler.schedule_at(
+            when, self._beat, name=f"{self.name}:heartbeat"
+        )
+
+    def _beat(self) -> None:
+        seq = self._tick
+        self._tick += 1
+        if self._crashed:
+            self.suppressed += 1
+        else:
+            self.sent += 1
+            self._send(
+                Datagram(
+                    source=self.name,
+                    destination=self.monitor_address,
+                    kind="heartbeat",
+                    seq=seq,
+                    timestamp=self._scheduler.now,
+                )
+            )
+        if self._running:
+            self._schedule_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        return f"HeartbeatEmitter({self.name!r}, {state}, sent={self.sent})"
+
+
+class LiveCrashInjector:
+    """Drives an emitter through crash/repair cycles on the wall clock."""
+
+    def __init__(
+        self,
+        emitter: HeartbeatEmitter,
+        scheduler: AsyncioScheduler,
+        *,
+        mttc: float,
+        ttr: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if mttc <= 0:
+            raise ValueError(f"mttc must be > 0, got {mttc!r}")
+        if ttr < 0:
+            raise ValueError(f"ttr must be >= 0, got {ttr!r}")
+        self._emitter = emitter
+        self._scheduler = scheduler
+        self.mttc = float(mttc)
+        self.ttr = float(ttr)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._handle = None
+        self._running = False
+
+    def start(self) -> None:
+        """Arm the first crash."""
+        if self._running:
+            return
+        self._running = True
+        self._arm_next_crash()
+
+    def stop(self) -> None:
+        """Cancel the pending crash/restore."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _arm_next_crash(self) -> None:
+        delay = float(self._rng.uniform(0.5 * self.mttc, 1.5 * self.mttc))
+        self._handle = self._scheduler.schedule(
+            delay, self._crash, name=f"{self._emitter.name}:crash"
+        )
+
+    def _crash(self) -> None:
+        self._emitter.crash()
+        self._handle = self._scheduler.schedule(
+            self.ttr, self._restore, name=f"{self._emitter.name}:restore"
+        )
+
+    def _restore(self) -> None:
+        self._emitter.restore()
+        if self._running:
+            self._arm_next_crash()
+
+
+class _FleetProtocol(asyncio.DatagramProtocol):
+    def datagram_received(self, data, addr) -> None:  # pragma: no cover
+        pass  # emitters are send-only
+
+
+class HeartbeatFleet:
+    """Many emitters, one UDP socket, one event loop.
+
+    Parameters
+    ----------
+    names:
+        Endpoint names; each becomes one emitter.
+    monitor:
+        The monitor daemon's (host, port) UDP intake.
+    eta:
+        Heartbeat period for every emitter.
+    mttc, ttr:
+        When ``mttc`` is given, every emitter gets a
+        :class:`LiveCrashInjector` with these parameters.
+    seed:
+        Seeds the injectors' crash draws and the emitters' start phases
+        (emitters are phase-staggered across one period so a large fleet
+        does not beat in lockstep).
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        monitor: Tuple[str, int],
+        *,
+        eta: float = 1.0,
+        monitor_address: str = "monitor",
+        mttc: Optional[float] = None,
+        ttr: float = 20.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not names:
+            raise ValueError("fleet needs at least one endpoint name")
+        if len(set(names)) != len(names):
+            raise ValueError("fleet endpoint names must be unique")
+        self._names = list(names)
+        self._monitor = monitor
+        self.eta = float(eta)
+        self._monitor_address = monitor_address
+        self._mttc = mttc
+        self._ttr = ttr
+        self._rng = np.random.default_rng(seed)
+        self._scheduler: Optional[AsyncioScheduler] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.emitters: Dict[str, HeartbeatEmitter] = {}
+        self.injectors: List[LiveCrashInjector] = []
+        self._running = False
+
+    async def start(self) -> None:
+        """Open the socket and start every emitter (and injector)."""
+        if self._running:
+            raise RuntimeError("fleet already started")
+        loop = asyncio.get_running_loop()
+        self._scheduler = AsyncioScheduler(loop)
+        transport, _ = await loop.create_datagram_endpoint(
+            _FleetProtocol, remote_addr=self._monitor
+        )
+        self._transport = transport
+        for name in self._names:
+            emitter = HeartbeatEmitter(
+                name,
+                self._send,
+                self._scheduler,
+                eta=self.eta,
+                monitor_address=self._monitor_address,
+                phase=float(self._rng.uniform(0.0, self.eta)),
+            )
+            self.emitters[name] = emitter
+            emitter.start()
+            if self._mttc is not None:
+                injector = LiveCrashInjector(
+                    emitter,
+                    self._scheduler,
+                    mttc=self._mttc,
+                    ttr=self._ttr,
+                    rng=self._rng,
+                )
+                self.injectors.append(injector)
+                injector.start()
+        self._running = True
+
+    async def stop(self) -> None:
+        """Stop every emitter/injector and close the socket (idempotent)."""
+        if not self._running:
+            return
+        self._running = False
+        for injector in self.injectors:
+            injector.stop()
+        for emitter in self.emitters.values():
+            emitter.stop()
+        if self._scheduler is not None:
+            self._scheduler.close()
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        await asyncio.sleep(0)
+
+    @property
+    def running(self) -> bool:
+        """Whether the fleet is started."""
+        return self._running
+
+    def crash(self, name: str) -> None:
+        """Manually crash one emitter (integration tests, drills)."""
+        self.emitters[name].crash()
+
+    def restore(self, name: str) -> None:
+        """Manually restore one emitter."""
+        self.emitters[name].restore()
+
+    def total_sent(self) -> int:
+        """Heartbeats actually put on the wire, fleet-wide."""
+        return sum(emitter.sent for emitter in self.emitters.values())
+
+    def _send(self, message: Datagram) -> None:
+        if self._transport is not None and not self._transport.is_closing():
+            self._transport.sendto(encode_datagram(message))
+
+
+__all__ = [
+    "HeartbeatEmitter",
+    "HeartbeatFleet",
+    "LiveCrashInjector",
+]

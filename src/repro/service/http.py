@@ -1,0 +1,211 @@
+"""A dependency-free asyncio HTTP endpoint for metrics and control.
+
+Serves the daemon's observability surface on a local port:
+
+=========================  ==============================================
+route                      behaviour
+=========================  ==============================================
+``GET /metrics``           Prometheus text exposition (0.0.4)
+``GET /status``            JSON status document
+``GET /healthz``           liveness probe (``ok``)
+``POST /endpoints``        register an endpoint (body ``{"name": ...}``)
+``DELETE /endpoints/<n>``  deregister endpoint ``<n>``
+=========================  ==============================================
+
+Only what a scrape target needs is implemented: HTTP/1.0-style one
+request per connection, bounded header/body sizes, connection closed
+after the response.  Binds loopback by default — the control surface has
+no authentication and must not face the open network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.service.daemon import MonitorDaemon
+
+_MAX_HEADER_BYTES = 16_384
+_MAX_BODY_BYTES = 65_536
+
+
+class MetricsHttpServer:
+    """The daemon's HTTP face (metrics export + endpoint management)."""
+
+    def __init__(
+        self,
+        daemon: "MonitorDaemon",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._daemon = daemon
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self.requests_served = 0
+
+    async def start(self) -> None:
+        """Bind and start accepting scrapes."""
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self._host, port=self._port
+        )
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("HTTP server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self, *, drain: float = 1.0) -> None:
+        """Stop accepting, give in-flight handlers ``drain`` seconds,
+        then cancel stragglers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = {task for task in self._connections if not task.done()}
+        if pending:
+            _done, still_pending = await asyncio.wait(pending, timeout=drain)
+            for task in still_pending:
+                task.cancel()
+            if still_pending:
+                await asyncio.gather(*still_pending, return_exceptions=True)
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                return
+            if len(head) > _MAX_HEADER_BYTES:
+                await self._respond(writer, 431, "text/plain", b"headers too large")
+                return
+            request_line, _, header_block = head.partition(b"\r\n")
+            parts = request_line.decode("latin-1").split()
+            if len(parts) != 3:
+                await self._respond(writer, 400, "text/plain", b"bad request")
+                return
+            method, target, _version = parts
+            content_length = 0
+            for line in header_block.decode("latin-1").split("\r\n"):
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        await self._respond(
+                            writer, 400, "text/plain", b"bad content-length"
+                        )
+                        return
+            if content_length > _MAX_BODY_BYTES:
+                await self._respond(writer, 413, "text/plain", b"body too large")
+                return
+            body = (
+                await reader.readexactly(content_length)
+                if content_length
+                else b""
+            )
+            status, content_type, payload = self._route(method, target, body)
+            self.requests_served += 1
+            await self._respond(writer, status, content_type, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        path = target.split("?", 1)[0]
+        if method == "GET" and path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self._daemon.metrics_text().encode("utf-8"),
+            )
+        if method == "GET" and path == "/status":
+            return (
+                200,
+                "application/json",
+                json.dumps(self._daemon.status()).encode("utf-8"),
+            )
+        if method == "GET" and path == "/healthz":
+            return 200, "text/plain", b"ok\n"
+        if path == "/endpoints" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                name = payload["name"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                return 400, "text/plain", b'expected JSON body {"name": ...}\n'
+            if not isinstance(name, str) or not name:
+                return 400, "text/plain", b"endpoint name must be a non-empty string\n"
+            try:
+                self._daemon.add_endpoint(name)
+            except ValueError:
+                return 409, "text/plain", b"endpoint already registered\n"
+            except RuntimeError as exc:
+                return 503, "text/plain", f"{exc}\n".encode("utf-8")
+            return 201, "application/json", json.dumps({"name": name}).encode()
+        if path.startswith("/endpoints/") and method == "DELETE":
+            name = path[len("/endpoints/"):]
+            try:
+                self._daemon.remove_endpoint(name)
+            except KeyError:
+                return 404, "text/plain", b"no such endpoint\n"
+            return 200, "application/json", json.dumps({"removed": name}).encode()
+        if path in ("/metrics", "/status", "/healthz", "/endpoints"):
+            return 405, "text/plain", b"method not allowed\n"
+        return 404, "text/plain", b"not found\n"
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+    ) -> None:
+        reason = {
+            200: "OK",
+            201: "Created",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            409: "Conflict",
+            413: "Payload Too Large",
+            431: "Request Header Fields Too Large",
+            503: "Service Unavailable",
+        }.get(status, "OK")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+
+__all__ = ["MetricsHttpServer"]

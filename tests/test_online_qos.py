@@ -1,0 +1,281 @@
+"""Streaming QoS vs. batch extraction equivalence.
+
+The live service computes T_D/T_M/T_MR/P_A with
+:class:`repro.nekostat.metrics.OnlineQosAccumulator`, one transition at
+a time; the batch experiments compute the same metrics with
+:func:`repro.nekostat.metrics.extract_qos` from a finished event log.
+These tests assert the two paths agree exactly on identical transition
+sequences — deterministically on hand-built edge cases, and
+property-based over hypothesis-generated crash/suspicion interleavings.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.metrics import OnlineQosAccumulator, extract_qos
+
+DETECTOR = "fd"
+SITE = "monitored"
+
+# Transition tokens: Crash, Restore, start-Suspect, Trust.
+_EVENT_KINDS = {
+    "C": EventKind.CRASH,
+    "R": EventKind.RESTORE,
+    "S": EventKind.START_SUSPECT,
+    "T": EventKind.END_SUSPECT,
+}
+
+
+def _legalize(tokens):
+    """Drop tokens that would violate the two state machines.
+
+    Crash/restore must alternate starting from "up"; suspect/trust must
+    alternate starting from "trusting".  Skipping invalid tokens (rather
+    than rejecting the example) keeps hypothesis generation efficient.
+    """
+    crashed = False
+    suspecting = False
+    legal = []
+    for token in tokens:
+        if token == "C" and not crashed:
+            crashed = True
+        elif token == "R" and crashed:
+            crashed = False
+        elif token == "S" and not suspecting:
+            suspecting = True
+        elif token == "T" and suspecting:
+            suspecting = False
+        else:
+            continue
+        legal.append(token)
+    return legal
+
+
+def _build_log(sequence):
+    """An EventLog holding the (token, time) sequence."""
+    log = EventLog()
+    for token, t in sequence:
+        kind = _EVENT_KINDS[token]
+        if token in ("S", "T"):
+            log.append(StatEvent(time=t, kind=kind, site="monitor", detector=DETECTOR))
+        else:
+            log.append(StatEvent(time=t, kind=kind, site=SITE))
+    return log
+
+
+def _feed(accumulator, sequence):
+    for token, t in sequence:
+        if token == "C":
+            accumulator.observe_crash(t)
+        elif token == "R":
+            accumulator.observe_restore(t)
+        elif token == "S":
+            accumulator.observe_suspect(t)
+        else:
+            accumulator.observe_trust(t)
+
+
+def _close(a, b):
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        return False
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def assert_equivalent(sequence, end_time):
+    """Both paths over ``sequence``, compared field by field."""
+    batch = extract_qos(
+        _build_log(sequence), end_time=end_time, detectors=[DETECTOR]
+    )[DETECTOR]
+    accumulator = OnlineQosAccumulator(DETECTOR)
+    _feed(accumulator, sequence)
+    online = accumulator.snapshot(end_time)
+
+    assert online.td_samples == pytest.approx(batch.td_samples, abs=1e-9)
+    assert online.undetected_crashes == batch.undetected_crashes
+    assert [(m.start, m.end) for m in online.mistakes] == pytest.approx(
+        [(m.start, m.end) for m in batch.mistakes], abs=1e-9
+    )
+    assert online.tmr_samples == pytest.approx(batch.tmr_samples, abs=1e-9)
+    assert _close(online.observation_time, batch.observation_time)
+    assert _close(online.up_time, batch.up_time)
+    assert _close(online.suspected_up_time, batch.suspected_up_time)
+    # Derived metrics follow from the fields above, but check the public
+    # surface the exporter actually reads.
+    assert _close(online.t_d_upper, batch.t_d_upper)
+    assert _close(online.p_a, batch.p_a)
+    assert _close(online.empirical_p_a, batch.empirical_p_a)
+    assert _close(
+        online.t_m.mean if online.t_m else None,
+        batch.t_m.mean if batch.t_m else None,
+    )
+    assert _close(
+        online.t_mr.mean if online.t_mr else None,
+        batch.t_mr.mean if batch.t_mr else None,
+    )
+    return online
+
+
+class TestDeterministicEquivalence:
+    """Hand-built interleavings covering every verdict path."""
+
+    def test_mistake_then_detected_crash(self):
+        seq = [("S", 1.0), ("T", 2.0), ("C", 4.0), ("S", 5.0), ("R", 8.0), ("T", 8.5)]
+        online = assert_equivalent(seq, 10.0)
+        assert online.td_samples == [pytest.approx(1.0)]
+        assert len(online.mistakes) == 1
+
+    def test_suspicion_spanning_crash_detects_instantly(self):
+        # Suspicion raised before the crash and still standing at restore:
+        # a detection with T_D = 0, not a mistake.
+        seq = [("S", 2.0), ("C", 3.0), ("R", 6.0), ("T", 7.0)]
+        online = assert_equivalent(seq, 9.0)
+        assert online.td_samples == [pytest.approx(0.0)]
+        assert online.mistakes == []
+
+    def test_undetected_crash(self):
+        seq = [("C", 2.0), ("R", 3.0)]
+        online = assert_equivalent(seq, 5.0)
+        assert online.undetected_crashes == 1
+        assert online.td_samples == []
+
+    def test_one_suspicion_detects_two_crashes(self):
+        seq = [("C", 1.0), ("S", 2.0), ("R", 3.0), ("C", 4.0), ("R", 6.0), ("T", 7.0)]
+        online = assert_equivalent(seq, 8.0)
+        assert online.td_samples == pytest.approx([1.0, 0.0])
+        assert online.mistakes == []
+
+    def test_mid_crash_suspicion_cleared_before_restore(self):
+        # Raised and cleared inside the crash window: neither a
+        # detection nor a mistake.
+        seq = [("C", 1.0), ("S", 2.0), ("T", 3.0), ("R", 5.0)]
+        online = assert_equivalent(seq, 6.0)
+        assert online.undetected_crashes == 1
+        assert online.mistakes == []
+
+    def test_open_crash_and_open_suspicion_at_end(self):
+        seq = [("C", 2.0), ("S", 3.0)]
+        online = assert_equivalent(seq, 7.0)
+        assert online.td_samples == [pytest.approx(1.0)]
+        assert online.mistakes == []
+
+    def test_open_mistake_at_end(self):
+        seq = [("S", 1.0), ("T", 2.0), ("S", 4.0)]
+        online = assert_equivalent(seq, 6.0)
+        assert len(online.mistakes) == 2
+        assert online.tmr_samples == [pytest.approx(3.0)]
+
+    def test_empty_sequence(self):
+        online = assert_equivalent([], 5.0)
+        assert online.up_time == pytest.approx(5.0)
+        assert online.p_a == pytest.approx(1.0)
+
+
+TOKEN = st.sampled_from(["S", "T", "C", "R"])
+GAP = st.integers(min_value=1, max_value=4)
+SCALE = st.sampled_from([0.25, 1.0, 7.3])
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    tokens=st.lists(TOKEN, max_size=40),
+    gaps=st.lists(GAP, min_size=40, max_size=40),
+    scale=SCALE,
+    tail_gaps=GAP,
+    cut=st.integers(min_value=0, max_value=40),
+)
+def test_streaming_equals_batch(tokens, gaps, scale, tail_gaps, cut):
+    """The tentpole equivalence property.
+
+    Any legal interleaving of crash/restore and suspect/trust
+    transitions (strictly increasing times) yields identical QoS from
+    the streaming accumulator and the batch extractor — both at an
+    intermediate snapshot (prefix of the sequence) and at the end.
+    """
+    legal = _legalize(tokens)
+    times = []
+    t = 0
+    for gap in gaps[: len(legal)]:
+        t += gap
+        times.append(t * scale)
+    sequence = list(zip(legal, times))
+    end_time = (t + tail_gaps) * scale
+
+    # Full-sequence equivalence.
+    assert_equivalent(sequence, end_time)
+
+    # Prefix equivalence: a snapshot mid-stream equals batch extraction
+    # over the prefix log, and must not disturb the accumulator.
+    cut = min(cut, len(sequence))
+    prefix = sequence[:cut]
+    accumulator = OnlineQosAccumulator(DETECTOR)
+    _feed(accumulator, prefix)
+    mid = (prefix[-1][1] if prefix else 0.0) + 0.5 * scale
+    batch_prefix = extract_qos(
+        _build_log(prefix), end_time=mid, detectors=[DETECTOR]
+    )[DETECTOR]
+    first = accumulator.snapshot(mid)
+    again = accumulator.snapshot(mid)  # snapshot must be non-mutating
+    for snap in (first, again):
+        assert snap.td_samples == pytest.approx(batch_prefix.td_samples, abs=1e-9)
+        assert snap.undetected_crashes == batch_prefix.undetected_crashes
+        assert len(snap.mistakes) == len(batch_prefix.mistakes)
+        assert _close(snap.up_time, batch_prefix.up_time)
+        assert _close(snap.p_a, batch_prefix.p_a)
+    # The rest of the sequence still feeds cleanly after snapshots.
+    _feed(accumulator, sequence[cut:])
+    final = accumulator.snapshot(end_time)
+    batch_full = extract_qos(
+        _build_log(sequence), end_time=end_time, detectors=[DETECTOR]
+    )[DETECTOR]
+    assert final.td_samples == pytest.approx(batch_full.td_samples, abs=1e-9)
+    assert len(final.mistakes) == len(batch_full.mistakes)
+
+
+class TestAccumulatorContract:
+    """Guard rails of the streaming API itself."""
+
+    def test_out_of_order_transition_rejected(self):
+        accumulator = OnlineQosAccumulator(DETECTOR)
+        accumulator.observe_suspect(2.0)
+        with pytest.raises(ValueError):
+            accumulator.observe_trust(1.0)
+
+    def test_double_suspect_rejected(self):
+        accumulator = OnlineQosAccumulator(DETECTOR)
+        accumulator.observe_suspect(1.0)
+        with pytest.raises(ValueError):
+            accumulator.observe_suspect(2.0)
+
+    def test_restore_without_crash_rejected(self):
+        accumulator = OnlineQosAccumulator(DETECTOR)
+        with pytest.raises(ValueError):
+            accumulator.observe_restore(1.0)
+
+    def test_snapshot_before_last_transition_rejected(self):
+        accumulator = OnlineQosAccumulator(DETECTOR)
+        accumulator.observe_suspect(3.0)
+        with pytest.raises(ValueError):
+            accumulator.snapshot(2.0)
+
+    def test_start_time_offsets_observation(self):
+        accumulator = OnlineQosAccumulator(DETECTOR, start_time=100.0)
+        accumulator.observe_suspect(101.0)
+        accumulator.observe_trust(102.0)
+        qos = accumulator.snapshot(110.0)
+        assert qos.observation_time == pytest.approx(10.0)
+        assert qos.up_time == pytest.approx(10.0)
+        assert len(qos.mistakes) == 1
+
+    def test_transition_counter(self):
+        accumulator = OnlineQosAccumulator(DETECTOR)
+        accumulator.observe_suspect(1.0)
+        accumulator.observe_trust(2.0)
+        accumulator.observe_crash(3.0)
+        accumulator.observe_restore(4.0)
+        assert accumulator.transitions == 2  # detector transitions only

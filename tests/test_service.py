@@ -1,0 +1,574 @@
+"""Tests for the live fleet-monitoring service (`repro.service`).
+
+Unit tests exercise the asyncio scheduler, the bounded log, the metric
+renderers, the HTTP router and the endpoint registry without any
+sockets.  The integration test at the bottom runs the acceptance
+scenario: a daemon tracking 50 heartbeat endpoints over real loopback
+UDP with all thirty detector combinations live, surviving an injected
+crash/recovery cycle and shutting down without leaking threads, sockets
+or timers.
+
+No external timeout plugin is available, so every test that touches the
+network wraps its event-loop body in ``asyncio.wait_for``.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.fd.combinations import combination_ids
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.metrics import DetectorQos
+from repro.net.message import Datagram
+from repro.service import (
+    AsyncioScheduler,
+    BoundedEventLog,
+    HeartbeatEmitter,
+    HeartbeatFleet,
+    LiveCrashInjector,
+    MetricsHttpServer,
+    MonitorDaemon,
+    render_prometheus,
+    render_status,
+)
+from repro.service.registry import EndpointRegistry
+from repro.service.runtime import ServiceSystem
+
+NETWORK_TIMEOUT = 60.0
+
+
+def run(coroutine, timeout=NETWORK_TIMEOUT):
+    """Run an async test body with a hard timeout (no plugin needed)."""
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=timeout))
+
+
+# ----------------------------------------------------------------------
+# Runtime substrate
+# ----------------------------------------------------------------------
+class TestAsyncioScheduler:
+    def test_now_is_epoch_anchored_and_advances(self):
+        async def main():
+            scheduler = AsyncioScheduler()
+            first = scheduler.now
+            assert first > 1_000_000_000  # UNIX-epoch seconds, not loop time
+            await asyncio.sleep(0.02)
+            assert scheduler.now > first
+
+        run(main())
+
+    def test_schedule_fires_in_order(self):
+        async def main():
+            scheduler = AsyncioScheduler()
+            fired = []
+            scheduler.schedule(0.04, lambda: fired.append("late"))
+            scheduler.schedule(0.01, lambda: fired.append("early"))
+            await asyncio.sleep(0.15)
+            assert fired == ["early", "late"]
+            assert scheduler.outstanding == 0
+
+        run(main())
+
+    def test_cancel_prevents_firing(self):
+        async def main():
+            scheduler = AsyncioScheduler()
+            fired = []
+            handle = scheduler.schedule(0.02, lambda: fired.append(True))
+            assert not handle.cancelled
+            handle.cancel()
+            assert handle.cancelled
+            await asyncio.sleep(0.1)
+            assert fired == []
+            assert scheduler.outstanding == 0
+
+        run(main())
+
+    def test_close_cancels_everything_and_rejects_new_work(self):
+        async def main():
+            scheduler = AsyncioScheduler()
+            fired = []
+            for _ in range(5):
+                scheduler.schedule(0.02, lambda: fired.append(True))
+            assert scheduler.outstanding == 5
+            scheduler.close()
+            assert scheduler.closed
+            assert scheduler.outstanding == 0
+            with pytest.raises(RuntimeError):
+                scheduler.schedule(0.01, lambda: None)
+            await asyncio.sleep(0.1)
+            assert fired == []
+
+        run(main())
+
+
+class TestBoundedEventLog:
+    def test_keeps_only_the_tail(self):
+        log = BoundedEventLog(capacity=3)
+        for i in range(10):
+            log.append(
+                StatEvent(time=float(i), kind=EventKind.SENT, site="q", seq=i)
+            )
+        assert len(log) == 3
+        assert [event.seq for event in log] == [7, 8, 9]
+        assert log.capacity == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedEventLog(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Exporter
+# ----------------------------------------------------------------------
+def _status_fixture():
+    qos = DetectorQos(
+        detector="Last+CI_med",
+        observation_time=100.0,
+        up_time=95.0,
+        suspected_up_time=1.0,
+        td_samples=[0.4, 0.6],
+        undetected_crashes=1,
+    )
+    empty = DetectorQos(detector="Mean+JAC_low", observation_time=100.0, up_time=100.0)
+    return render_status(
+        uptime_seconds=100.0,
+        heartbeats_total=1234,
+        dropped_datagrams_total=5,
+        endpoints={
+            'node"1': {
+                "heartbeats": 617,
+                "crashes": 2,
+                "crashed": True,
+                "qos": {
+                    "Last+CI_med": (qos, True),
+                    "Mean+JAC_low": (empty, False),
+                },
+            },
+        },
+    )
+
+
+class TestExporter:
+    def test_status_document_shape(self):
+        status = _status_fixture()
+        assert status["heartbeats_total"] == 1234
+        entry = status["endpoints"]['node"1']
+        assert entry["crashed"] is True
+        detectors = entry["detectors"]
+        assert detectors["Last+CI_med"]["fd_qos_detection_time_seconds"] == (
+            pytest.approx(0.5)
+        )
+        assert detectors["Last+CI_med"]["detection_samples"] == 2
+        assert detectors["Last+CI_med"]["fd_suspecting"] == 1
+        assert detectors["Mean+JAC_low"]["fd_qos_detection_time_seconds"] is None
+        # The document must round-trip through JSON (the /status route).
+        json.dumps(status)
+
+    def test_prometheus_rendering(self):
+        text = render_prometheus(_status_fixture())
+        assert "# TYPE fd_qos_detection_time_seconds gauge" in text
+        assert "# TYPE fd_service_heartbeats_total counter" in text
+        assert "fd_service_endpoints 1" in text
+        # Label values are escaped, samples carry both labels.
+        assert (
+            'fd_qos_detection_time_seconds{endpoint="node\\"1",'
+            'detector="Last+CI_med"} 0.5' in text
+        )
+        # Series with no observation render as NaN, not 0.
+        assert (
+            'fd_qos_detection_time_seconds{endpoint="node\\"1",'
+            'detector="Mean+JAC_low"} NaN' in text
+        )
+        assert 'fd_endpoint_crashed{endpoint="node\\"1"} 1' in text
+        assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# HTTP routing (no sockets: _route is synchronous)
+# ----------------------------------------------------------------------
+class _StubDaemon:
+    def __init__(self):
+        self.endpoints = {"existing"}
+        self.full = False
+
+    def metrics_text(self):
+        return "fd_service_endpoints 1\n"
+
+    def status(self):
+        return {"endpoints": sorted(self.endpoints)}
+
+    def add_endpoint(self, name):
+        if self.full:
+            raise RuntimeError("endpoint limit reached")
+        if name in self.endpoints:
+            raise ValueError("duplicate")
+        self.endpoints.add(name)
+
+    def remove_endpoint(self, name):
+        if name not in self.endpoints:
+            raise KeyError(name)
+        self.endpoints.discard(name)
+
+
+class TestHttpRouting:
+    def _server(self):
+        return MetricsHttpServer(_StubDaemon())
+
+    def test_metrics_and_status_and_healthz(self):
+        server = self._server()
+        status, content_type, body = server._route("GET", "/metrics", b"")
+        assert status == 200 and "0.0.4" in content_type
+        assert b"fd_service_endpoints" in body
+        status, content_type, body = server._route("GET", "/status?x=1", b"")
+        assert status == 200
+        assert json.loads(body)["endpoints"] == ["existing"]
+        assert server._route("GET", "/healthz", b"")[0] == 200
+
+    def test_endpoint_registration_routes(self):
+        server = self._server()
+        daemon = server._daemon
+        assert server._route("POST", "/endpoints", b'{"name": "n1"}')[0] == 201
+        assert "n1" in daemon.endpoints
+        assert server._route("POST", "/endpoints", b'{"name": "n1"}')[0] == 409
+        assert server._route("POST", "/endpoints", b"not json")[0] == 400
+        assert server._route("POST", "/endpoints", b'{"name": ""}')[0] == 400
+        daemon.full = True
+        assert server._route("POST", "/endpoints", b'{"name": "n2"}')[0] == 503
+        assert server._route("DELETE", "/endpoints/n1", b"")[0] == 200
+        assert "n1" not in daemon.endpoints
+        assert server._route("DELETE", "/endpoints/ghost", b"")[0] == 404
+
+    def test_unknown_routes_and_methods(self):
+        server = self._server()
+        assert server._route("GET", "/nope", b"")[0] == 404
+        assert server._route("PUT", "/metrics", b"")[0] == 405
+        assert server._route("GET", "/endpoints", b"")[0] == 405
+
+
+# ----------------------------------------------------------------------
+# Registry (scheduler-backed, socket-less)
+# ----------------------------------------------------------------------
+class TestEndpointRegistry:
+    def _registry(self, max_endpoints=10):
+        scheduler = AsyncioScheduler()
+        system = ServiceSystem(scheduler, None)
+        return scheduler, EndpointRegistry(
+            system,
+            eta=0.5,
+            detector_ids=["Last+CI_med", "Mean+JAC_low"],
+            initial_timeout=5.0,
+            max_endpoints=max_endpoints,
+        )
+
+    def test_add_remove_lifecycle(self):
+        async def main():
+            scheduler, registry = self._registry()
+            monitor = registry.add("ep1")
+            assert len(registry) == 1 and "ep1" in registry
+            assert sorted(monitor.detectors) == ["Last+CI_med", "Mean+JAC_low"]
+            # Registration armed one initial-timeout timer per detector.
+            assert scheduler.outstanding == 2
+            with pytest.raises(ValueError):
+                registry.add("ep1")
+            removed = registry.remove("ep1")
+            assert removed is monitor and removed.closed
+            assert scheduler.outstanding == 0  # detectors quiesced
+            with pytest.raises(KeyError):
+                registry.remove("ep1")
+            scheduler.close()
+
+        run(main())
+
+    def test_endpoint_limit(self):
+        async def main():
+            scheduler, registry = self._registry(max_endpoints=2)
+            registry.add("a")
+            registry.add("b")
+            with pytest.raises(RuntimeError):
+                registry.add("c")
+            registry.close()
+            scheduler.close()
+
+        run(main())
+
+    def test_crash_notifications_are_idempotent(self):
+        async def main():
+            scheduler, registry = self._registry()
+            monitor = registry.add("ep1")
+            monitor.record_crash()
+            monitor.record_crash()  # duplicated control datagram
+            assert monitor.crashes == 1 and monitor.crashed
+            monitor.record_restore()
+            monitor.record_restore()
+            assert not monitor.crashed
+            qos = monitor.snapshot()["Last+CI_med"]
+            # One crash window, no detector transition yet: undetected.
+            assert qos.undetected_crashes == 1
+            registry.close()
+            scheduler.close()
+
+        run(main())
+
+    def test_closed_monitor_ignores_traffic(self):
+        async def main():
+            scheduler, registry = self._registry()
+            monitor = registry.remove_name = registry.add("ep1")
+            registry.remove("ep1")
+            monitor.deliver(
+                Datagram(source="ep1", destination="monitor", kind="heartbeat",
+                         seq=0, timestamp=scheduler.now)
+            )
+            monitor.record_crash()
+            assert monitor.heartbeats == 0 and monitor.crashes == 0
+            scheduler.close()
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Daemon dispatch (binds an ephemeral loopback socket, no traffic)
+# ----------------------------------------------------------------------
+@pytest.mark.network
+class TestDaemonDispatch:
+    def test_routing_and_drop_accounting(self):
+        async def main():
+            daemon = MonitorDaemon(
+                port=0, http_port=None, eta=0.5,
+                detector_ids=["Last+CI_med"], auto_register=True,
+            )
+            await daemon.start()
+            try:
+                now = daemon.scheduler.now
+                hb = Datagram(source="ep1", destination="monitor",
+                              kind="heartbeat", seq=0, timestamp=now)
+                daemon.dispatch(hb)  # auto-registers
+                assert daemon.registry.names() == ["ep1"]
+                assert daemon.heartbeats_total == 1
+                daemon.dispatch(Datagram(source="ep1", destination="monitor",
+                                         kind="crash"))
+                assert daemon.registry.get("ep1").crashed
+                daemon.dispatch(Datagram(source="ep1", destination="monitor",
+                                         kind="restore"))
+                assert not daemon.registry.get("ep1").crashed
+                # Unknown kinds and control messages for unknown sources drop.
+                dropped = daemon.dropped_datagrams
+                daemon.dispatch(Datagram(source="ep1", destination="monitor",
+                                         kind="gossip"))
+                daemon.dispatch(Datagram(source="ghost", destination="monitor",
+                                         kind="crash"))
+                daemon._on_datagram(b"not json at all", ("127.0.0.1", 1))
+                assert daemon.dropped_datagrams == dropped + 3
+            finally:
+                await daemon.stop()
+            assert daemon.scheduler.outstanding == 0
+
+        run(main())
+
+    def test_auto_register_disabled_drops_unknown_sources(self):
+        async def main():
+            daemon = MonitorDaemon(
+                port=0, http_port=None, eta=0.5,
+                detector_ids=["Last+CI_med"], auto_register=False,
+            )
+            await daemon.start()
+            try:
+                daemon.dispatch(Datagram(source="ep1", destination="monitor",
+                                         kind="heartbeat", seq=0,
+                                         timestamp=daemon.scheduler.now))
+                assert len(daemon.registry) == 0
+                assert daemon.dropped_datagrams == 1
+                daemon.add_endpoint("ep1")
+                daemon.dispatch(Datagram(source="ep1", destination="monitor",
+                                         kind="heartbeat", seq=1,
+                                         timestamp=daemon.scheduler.now))
+                assert daemon.heartbeats_total == 1
+            finally:
+                await daemon.stop()
+
+        run(main())
+
+    def test_stop_is_idempotent(self):
+        async def main():
+            daemon = MonitorDaemon(port=0, http_port=None, eta=0.5,
+                                   detector_ids=["Last+CI_med"])
+            await daemon.start()
+            await daemon.stop()
+            await daemon.stop()
+            assert not daemon.running
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Heartbeat emitter semantics (socket-less: send is a list.append)
+# ----------------------------------------------------------------------
+class TestHeartbeatEmitter:
+    def test_seq_advances_across_crash(self):
+        async def main():
+            scheduler = AsyncioScheduler()
+            sent = []
+            emitter = HeartbeatEmitter("q", sent.append, scheduler, eta=0.02)
+            emitter.start()
+            await asyncio.sleep(0.08)
+            emitter.crash()
+            await asyncio.sleep(0.06)
+            emitter.restore()
+            await asyncio.sleep(0.06)
+            emitter.stop()
+            scheduler.close()
+            kinds = [m.kind for m in sent]
+            assert "crash" in kinds and "restore" in kinds
+            beats = [m for m in sent if m.kind == "heartbeat"]
+            assert emitter.suppressed >= 1
+            # SimCrash semantics: numbering keeps advancing while silent,
+            # so the post-restore seq jumps over the suppressed beats.
+            seqs = [m.seq for m in beats]
+            assert seqs == sorted(seqs)
+            assert max(seqs) >= len(beats)  # gap proves suppression
+
+        run(main())
+
+    def test_injector_drives_crash_cycles(self):
+        async def main():
+            import numpy as np
+
+            scheduler = AsyncioScheduler()
+            emitter = HeartbeatEmitter("q", lambda m: None, scheduler, eta=0.05)
+            emitter.start()
+            injector = LiveCrashInjector(
+                emitter, scheduler, mttc=0.06, ttr=0.02,
+                rng=np.random.default_rng(7),
+            )
+            injector.start()
+            await asyncio.sleep(0.5)
+            injector.stop()
+            emitter.stop()
+            scheduler.close()
+            assert emitter.crash_count >= 2
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario
+# ----------------------------------------------------------------------
+FLEET_SIZE = 50
+FLEET_ETA = 0.05
+CRASHED_ENDPOINT = "ep00"
+
+
+async def _fleet_scenario():
+    daemon = MonitorDaemon(
+        port=0, http_port=0, eta=FLEET_ETA, initial_timeout=0.6,
+    )
+    await daemon.start()
+    names = [f"ep{i:02d}" for i in range(FLEET_SIZE)]
+    fleet = HeartbeatFleet(names, daemon.udp_endpoint, eta=FLEET_ETA, seed=11)
+    await fleet.start()
+    try:
+        # Warm-up: every endpoint auto-registers and the predictors see
+        # a stretch of normal traffic.
+        await asyncio.sleep(1.2)
+        assert len(daemon.registry) == FLEET_SIZE
+
+        # Injected crash/recovery cycle on one endpoint.
+        fleet.crash(CRASHED_ENDPOINT)
+        await asyncio.sleep(1.0)
+        fleet.restore(CRASHED_ENDPOINT)
+        await asyncio.sleep(0.4)
+
+        status = daemon.status()
+        assert len(status["endpoints"]) == FLEET_SIZE
+        all_ids = set(combination_ids())
+        assert len(all_ids) == 30
+        for name in names:
+            entry = status["endpoints"][name]
+            assert set(entry["detectors"]) == all_ids
+            assert entry["heartbeats"] > 0
+
+        crashed = status["endpoints"][CRASHED_ENDPOINT]
+        assert crashed["crashes"] == 1
+        assert crashed["crashed"] is False
+        detected = [
+            detector_id
+            for detector_id, entry in crashed["detectors"].items()
+            if entry["detection_samples"] >= 1
+            and entry["fd_qos_detection_time_seconds"] is not None
+            and 0.0 <= entry["fd_qos_detection_time_seconds"] < 10.0
+        ]
+        # The crash lasted ~20 heartbeat periods: every live combination
+        # had ample time to raise a permanent suspicion.
+        assert len(detected) >= 25, f"only {len(detected)} detected: {detected}"
+
+        # Metrics over real HTTP.
+        host, port = daemon.http_endpoint
+        status_code, body = await _http(host, port, "GET", "/metrics")
+        assert status_code == 200
+        text = body.decode()
+        assert f"fd_service_endpoints {FLEET_SIZE}" in text
+        assert (
+            f'fd_qos_detection_time_seconds{{endpoint="{CRASHED_ENDPOINT}",'
+            in text
+        )
+        status_code, body = await _http(host, port, "GET", "/healthz")
+        assert status_code == 200 and body == b"ok\n"
+
+        # Runtime endpoint management over HTTP.
+        status_code, _ = await _http(
+            host, port, "POST", "/endpoints",
+            body=json.dumps({"name": "late-joiner"}).encode(),
+        )
+        assert status_code == 201
+        assert "late-joiner" in daemon.registry
+        status_code, _ = await _http(
+            host, port, "DELETE", "/endpoints/late-joiner"
+        )
+        assert status_code == 200
+        assert "late-joiner" not in daemon.registry
+
+        heartbeats_received = daemon.heartbeats_total
+        assert heartbeats_received > 0
+        assert fleet.total_sent() >= heartbeats_received  # loopback may drop
+    finally:
+        await fleet.stop()
+        await daemon.stop()
+
+    # Clean shutdown: no timers, no socket, scheduler refuses new work.
+    assert daemon.scheduler.outstanding == 0
+    assert daemon.scheduler.closed
+    assert daemon.http_endpoint is None
+    with pytest.raises(RuntimeError):
+        daemon.udp_endpoint
+
+
+async def _http(host, port, method, path, body=b""):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.0\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    header_block, _, payload = raw.partition(b"\r\n\r\n")
+    return int(header_block.split()[1]), payload
+
+
+@pytest.mark.network
+class TestFleetIntegration:
+    def test_fifty_endpoints_crash_cycle_and_clean_shutdown(self):
+        baseline_threads = threading.active_count()
+        run(_fleet_scenario())
+        # asyncio.run joins its default executor on exit; anything above
+        # the baseline would be a thread leaked by the service itself.
+        assert threading.active_count() <= baseline_threads

@@ -19,7 +19,12 @@ from repro.neko.system import NekoSystem
 from repro.nekostat.events import EventKind
 from repro.nekostat.log import EventLog
 from repro.net.message import Datagram
-from repro.net.udp import UdpNetwork, WallClockScheduler
+from repro.net.udp import (
+    UdpNetwork,
+    WallClockScheduler,
+    decode_datagram,
+    encode_datagram,
+)
 
 from tests.conftest import RecordingLayer
 
@@ -41,6 +46,34 @@ def udp_world():
     network = UdpNetwork(scheduler)
     yield scheduler, network
     network.close()
+
+
+class TestWireFormat:
+    """The JSON datagram codec shared by the threaded backend and the
+    asyncio monitoring daemon."""
+
+    def test_roundtrip_preserves_every_field(self):
+        message = Datagram(
+            source="q", destination="monitor", kind="heartbeat",
+            seq=42, timestamp=12.5, payload={"rtt": 0.003}, uid=7,
+        )
+        got = decode_datagram(encode_datagram(message))
+        assert (got.source, got.destination, got.kind) == ("q", "monitor", "heartbeat")
+        assert got.seq == 42 and got.timestamp == 12.5
+        assert got.payload == {"rtt": 0.003} and got.uid == 7
+
+    def test_roundtrip_of_control_datagram_without_seq(self):
+        message = Datagram(source="q", destination="monitor", kind="crash")
+        got = decode_datagram(encode_datagram(message))
+        assert got.kind == "crash" and got.seq is None
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            decode_datagram(b"\xff\x00 not json")
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(KeyError):
+            decode_datagram(b'{"source": "q"}')
 
 
 class TestWallClockScheduler:
@@ -70,7 +103,58 @@ class TestWallClockScheduler:
         scheduler.run(until=0.05)
         assert scheduler.now >= 0.05
 
+    def test_callbacks_fire_in_deadline_order(self):
+        scheduler = WallClockScheduler()
+        fired = []
+        scheduler.schedule(0.12, lambda: fired.append("late"))
+        scheduler.schedule(0.03, lambda: fired.append("early"))
+        time.sleep(0.3)
+        assert fired == ["early", "late"]
 
+    def test_close_cancels_pending_timers(self):
+        scheduler = WallClockScheduler()
+        fired = []
+        for _ in range(4):
+            scheduler.schedule(0.1, lambda: fired.append(True))
+        scheduler.close()
+        assert scheduler.closed
+        time.sleep(0.25)
+        assert fired == []
+
+    def test_schedule_after_close_raises(self):
+        scheduler = WallClockScheduler()
+        scheduler.close()
+        with pytest.raises(RuntimeError):
+            scheduler.schedule(0.01, lambda: None)
+
+    def test_close_joins_timer_threads_and_is_idempotent(self):
+        import threading
+
+        baseline = threading.active_count()
+        scheduler = WallClockScheduler()
+        for _ in range(4):
+            scheduler.schedule(5.0, lambda: None)
+        scheduler.close(timeout=2.0)
+        scheduler.close(timeout=2.0)
+        deadline = time.time() + 2.0
+        while threading.active_count() > baseline and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= baseline
+
+    def test_close_during_in_flight_callback(self):
+        # close() from another thread must not deadlock on the callback
+        # currently running in a timer thread.
+        scheduler = WallClockScheduler()
+        started = []
+        scheduler.schedule(0.02, lambda: (started.append(True), time.sleep(0.1)))
+        deadline = time.time() + 2.0
+        while not started and time.time() < deadline:
+            time.sleep(0.005)
+        scheduler.close(timeout=1.0)
+        assert started == [True]
+
+
+@pytest.mark.network
 class TestUdpNetwork:
     def test_datagram_roundtrip(self, udp_world):
         scheduler, network = udp_world
@@ -108,6 +192,7 @@ class TestUdpNetwork:
         assert host == "127.0.0.1" and port > 0
 
 
+@pytest.mark.network
 class TestRealExecution:
     def test_failure_detector_over_real_udp(self, udp_world):
         """The Neko contract: unchanged detector layers over real sockets."""
