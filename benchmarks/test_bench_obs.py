@@ -1,0 +1,69 @@
+"""Bench for the observability layer (scripts/bench_obs.py).
+
+Like test_bench_perf this regenerates no paper artifact — it guards the
+machinery that keeps a standing monitor observable at negligible cost.
+The assertions encode the contract of docs/observability.md:
+
+* a no-change ``/metrics`` scrape reuses the cached QoS body and is
+  >= 10x faster than the legacy full render at 50 endpoints x 30
+  detectors (1500 live series), and
+* a transition between scrapes re-renders one series, not 1500.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_obs import format_report, run_benchmark  # noqa: E402
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def obs_record(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("obs")
+    record = run_benchmark(
+        endpoints=50,
+        detectors=30,
+        trace_events=20_000,
+        history_transitions=10_000,
+        tmp_dir=str(out_dir),
+    )
+    out = out_dir / "BENCH_obs.json"
+    out.write_text(json.dumps(record, indent=2))
+    print(f"\n{format_report(record)}")
+    print(f"wrote {out}")
+    return record
+
+
+def test_cached_scrape_is_order_of_magnitude_faster(obs_record):
+    exposition = obs_record["exposition"]
+    assert exposition["series"] == 1500
+    assert exposition["speedup_cached_vs_full"] >= 10.0, (
+        f"cached scrape only {exposition['speedup_cached_vs_full']:.1f}x "
+        "faster than the full render"
+    )
+    # Steady state really hit the cache: one cold render of every series
+    # plus one per dirty-scrape iteration, never 1500 again.
+    assert exposition["body_cache_hits_total"] > 0
+
+
+def test_dirty_scrape_redraws_one_series_not_all(obs_record):
+    exposition = obs_record["exposition"]
+    assert (
+        exposition["dirty_one_series_scrape_ms"]
+        < exposition["full_render_ms"]
+    )
+
+
+def test_trace_and_history_are_measured(obs_record):
+    trace = obs_record["trace"]
+    assert trace["ring_only_ns_per_event"] > 0
+    assert trace["jsonl_ns_per_event"] >= trace["ring_only_ns_per_event"]
+    history = obs_record["history"]
+    assert history["insert_rows_per_s"] > 0
+    assert history["window_query_ms"] > 0

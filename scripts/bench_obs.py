@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Benchmark the observability layer: incremental ``/metrics``, tracing,
+and the windowed QoS history store.
+
+Three independent measurements:
+
+* **Exposition** — a daemon with ``--endpoints x --detectors`` live
+  series, every accumulator carrying real samples.  Compares the legacy
+  full render (``render_prometheus(daemon.status())``, which re-closes
+  every accumulator at scrape time) against the incremental exporter's
+  no-change scrape (cached QoS body + fresh head).  The contract proved
+  by ``benchmarks/test_bench_obs.py`` is a >= 10x speedup at 50 x 30.
+* **Tracing** — per-event cost of ``TraceRecorder.emit`` with the ring
+  alone and with JSONL persistence.
+* **History** — transition insert throughput and window-query latency of
+  :class:`repro.obs.WindowedQosStore`.
+
+Results are appended to a JSON history file (default ``BENCH_obs.json``),
+the same layout as ``scripts/bench_service.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_obs.py \
+        [--endpoints 50] [--detectors 30] [--output BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.fd.combinations import combination_ids  # noqa: E402
+from repro.obs import TraceRecorder, WindowedQosStore  # noqa: E402
+from repro.service import MonitorDaemon  # noqa: E402
+from repro.service.exporter import render_prometheus  # noqa: E402
+
+
+def _populate(daemon: MonitorDaemon, endpoints: int) -> int:
+    """Register endpoints and feed every accumulator a realistic mix of
+    samples (one mistake, one detected crash) so histogram and summary
+    rendering is exercised, not skipped."""
+    series = 0
+    for i in range(endpoints):
+        name = f"bench{i:03d}"
+        monitor = daemon.add_endpoint(name)
+        # Accumulators start at registration time and require
+        # non-decreasing observations, so the synthetic transitions sit
+        # a few hundred microseconds after it — already in the past by
+        # the time anything scrapes (the caller sleeps briefly).
+        base = daemon.scheduler.now
+        for detector_id, accumulator in monitor.accumulators.items():
+            accumulator.observe_suspect(base + 0.0001)
+            accumulator.observe_trust(base + 0.0002)
+            accumulator.observe_crash(base + 0.0003)
+            accumulator.observe_suspect(base + 0.0004)
+            accumulator.observe_restore(base + 0.0005)
+            accumulator.observe_trust(base + 0.0006)
+            daemon.obs.on_detector_transition(
+                name, detector_id, False, base + 0.0006
+            )
+            series += 1
+    return series
+
+
+async def _bench_exposition(
+    endpoints: int, detectors: int, full_iters: int, scrape_iters: int
+) -> Dict:
+    daemon = MonitorDaemon(
+        port=0,
+        http_port=None,
+        eta=1.0,
+        detector_ids=combination_ids()[:detectors],
+    )
+    await daemon.start()
+    try:
+        series = _populate(daemon, endpoints)
+        await asyncio.sleep(0.01)  # let the clock pass every transition
+
+        # Legacy path: recompute + render everything at scrape time.
+        started = time.perf_counter()
+        for _ in range(full_iters):
+            full_text = render_prometheus(daemon.status())
+        full_ms = 1e3 * (time.perf_counter() - started) / full_iters
+
+        # First incremental scrape renders every dirty series once.
+        started = time.perf_counter()
+        incremental_text = daemon.metrics_text()
+        cold_ms = 1e3 * (time.perf_counter() - started)
+
+        # Steady state: no transitions between scrapes, body from cache.
+        started = time.perf_counter()
+        for _ in range(scrape_iters):
+            daemon.metrics_text()
+        cached_ms = 1e3 * (time.perf_counter() - started) / scrape_iters
+
+        # One transition between scrapes: re-render exactly one series.
+        monitor = daemon.registry.get("bench000")
+        detector_id = next(iter(monitor.accumulators))
+        started = time.perf_counter()
+        for _ in range(scrape_iters):
+            daemon.obs.on_detector_transition(
+                "bench000", detector_id, False, daemon.scheduler.now
+            )
+            daemon.metrics_text()
+        dirty_ms = 1e3 * (time.perf_counter() - started) / scrape_iters
+
+        exporter = daemon.exporter
+        return {
+            "endpoints": endpoints,
+            "detector_combinations": detectors,
+            "series": series,
+            "full_render_ms": round(full_ms, 3),
+            "cold_incremental_ms": round(cold_ms, 3),
+            "cached_scrape_ms": round(cached_ms, 4),
+            "dirty_one_series_scrape_ms": round(dirty_ms, 4),
+            "speedup_cached_vs_full": round(full_ms / cached_ms, 1),
+            "full_metrics_bytes": len(full_text.encode("utf-8")),
+            "incremental_metrics_bytes": len(
+                incremental_text.encode("utf-8")
+            ),
+            "series_renders_total": exporter.series_renders_total,
+            "body_cache_hits_total": exporter.body_cache_hits_total,
+        }
+    finally:
+        await daemon.stop()
+
+
+def _bench_trace(events: int, tmp_dir: str) -> Dict:
+    ring = TraceRecorder(ring_capacity=4096)
+    started = time.perf_counter()
+    for i in range(events):
+        ring.emit(float(i), "receive", "bench", seq=i, delay=0.01)
+    ring_ns = 1e9 * (time.perf_counter() - started) / events
+    ring.close()
+
+    path = os.path.join(tmp_dir, "bench-trace.jsonl")
+    jsonl = TraceRecorder(path, ring_capacity=4096)
+    started = time.perf_counter()
+    for i in range(events):
+        jsonl.emit(float(i), "receive", "bench", seq=i, delay=0.01)
+    jsonl_ns = 1e9 * (time.perf_counter() - started) / events
+    stats = jsonl.stats()
+    jsonl.close()
+    os.unlink(path)
+    return {
+        "events": events,
+        "ring_only_ns_per_event": round(ring_ns, 1),
+        "jsonl_ns_per_event": round(jsonl_ns, 1),
+        "jsonl_bytes_per_event": round(stats["bytes_total"] / events, 1),
+        "self_measured_overhead_s": round(stats["overhead_seconds"], 4),
+    }
+
+
+def _bench_history(transitions: int) -> Dict:
+    store = WindowedQosStore(":memory:", retention=float(transitions))
+    try:
+        started = time.perf_counter()
+        for i in range(transitions):
+            t = float(i)
+            if i % 2 == 0:
+                store.record_suspect("bench", "fd", t)
+            else:
+                store.record_trust("bench", "fd", t)
+        store.flush()
+        insert_s = time.perf_counter() - started
+
+        start = transitions * 0.25
+        end = transitions * 0.75
+        started = time.perf_counter()
+        window = store.query("bench", "fd", start, end)
+        query_ms = 1e3 * (time.perf_counter() - started)
+        assert window.qos.mistakes  # the window really replayed rows
+        return {
+            "transitions": transitions,
+            "insert_rows_per_s": round(transitions / insert_s, 1),
+            "window_query_ms": round(query_ms, 3),
+            "window_rows_replayed": int(transitions * 0.5),
+        }
+    finally:
+        store.close()
+
+
+def run_benchmark(
+    endpoints: int = 50,
+    detectors: int = 30,
+    *,
+    full_iters: int = 5,
+    scrape_iters: int = 50,
+    trace_events: int = 100_000,
+    history_transitions: int = 50_000,
+    tmp_dir: str = ".",
+) -> Dict:
+    """Run all three measurements and return one JSON-able record."""
+    record = {
+        "exposition": asyncio.run(
+            _bench_exposition(endpoints, detectors, full_iters, scrape_iters)
+        ),
+        "trace": _bench_trace(trace_events, tmp_dir),
+        "history": _bench_history(history_transitions),
+    }
+    return record
+
+
+def format_report(record: Dict) -> str:
+    e = record["exposition"]
+    t = record["trace"]
+    h = record["history"]
+    return "\n".join(
+        [
+            f"exposition ({e['endpoints']} endpoints x "
+            f"{e['detector_combinations']} detectors = {e['series']} series)",
+            f"  full render          : {e['full_render_ms']:10.3f} ms",
+            f"  cold incremental     : {e['cold_incremental_ms']:10.3f} ms",
+            f"  cached scrape        : {e['cached_scrape_ms']:10.4f} ms",
+            f"  dirty-1-series scrape: "
+            f"{e['dirty_one_series_scrape_ms']:10.4f} ms",
+            f"  speedup (cached/full): {e['speedup_cached_vs_full']:10.1f} x",
+            f"trace ({t['events']} events)",
+            f"  ring only            : {t['ring_only_ns_per_event']:10.1f} "
+            "ns/event",
+            f"  ring + JSONL         : {t['jsonl_ns_per_event']:10.1f} "
+            "ns/event",
+            f"history ({h['transitions']} transitions)",
+            f"  insert               : {h['insert_rows_per_s']:10.1f} rows/s",
+            f"  window query         : {h['window_query_ms']:10.3f} ms",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--endpoints", type=int, default=50)
+    parser.add_argument(
+        "--detectors",
+        type=int,
+        default=30,
+        help="number of detector combinations per endpoint (1..30)",
+    )
+    parser.add_argument("--trace-events", type=int, default=100_000)
+    parser.add_argument("--history-transitions", type=int, default=50_000)
+    parser.add_argument("--output", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+    if not 1 <= args.detectors <= 30:
+        parser.error("--detectors must be in 1..30")
+
+    result = run_benchmark(
+        args.endpoints,
+        args.detectors,
+        trace_events=args.trace_events,
+        history_transitions=args.history_transitions,
+    )
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    result["python"] = platform.python_version()
+
+    history = []
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                history = json.load(handle)
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(result)
+    with open(args.output, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+    print(format_report(result))
+    speedup = result["exposition"]["speedup_cached_vs_full"]
+    if speedup < 10.0:
+        print(f"WARNING: cached scrape only {speedup:.1f}x faster "
+              "(contract is >= 10x)")
+    print(f"\nappended to {args.output} ({len(history)} run(s) recorded)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

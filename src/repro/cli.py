@@ -11,13 +11,18 @@ Usage (also via ``python -m repro``):
     repro qos          [--cycles 20000] [--runs 5] [--workers N]
                        [--detectors all|id,id,...]
     repro serve-monitor   [--port 9999] [--http-port 9100] [--eta 1.0]
+                          [--trace [PATH]] [--history-db qos.sqlite]
     repro serve-heartbeat --names node-1,node-2 [--monitor-port 9999]
-                          [--mttc 120 --ttr 20]
+                          [--mttc 120 --ttr 20] [--trace [PATH]]
+    repro qos-history     --db qos.sqlite [--window 3600]
+                          [--endpoint node-1] [--detectors all|id,...]
 
 Every subcommand prints its table or figure in the layout of the paper
 (Tables 2-4, Figures 4-8) so terminal output can be compared directly.
 The ``serve-*`` commands instead run the live fleet-monitoring service
-(see ``docs/service.md``) until interrupted or ``--duration`` elapses.
+(see ``docs/service.md``) until interrupted or ``--duration`` elapses;
+``qos-history`` replays a monitor's windowed-QoS database offline (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -158,6 +163,25 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="only accept pre-registered / HTTP-added endpoints")
     monitor.add_argument("--duration", type=float, default=0.0,
                          help="run this many seconds then exit (0 = forever)")
+    monitor.add_argument(
+        "--trace", nargs="?", const="fd-trace.jsonl", default=None,
+        metavar="PATH",
+        help="record heartbeat span events to this JSONL file and serve "
+             "/trace (default path when given bare: fd-trace.jsonl)",
+    )
+    monitor.add_argument("--trace-ring", type=int, default=4096,
+                         help="in-memory span events kept for /trace")
+    monitor.add_argument("--trace-max-bytes", type=int, default=16_000_000,
+                         help="JSONL size before rotation (.1/.2 backups)")
+    monitor.add_argument("--history-db", default=":memory:", metavar="PATH",
+                         help="sqlite path of the windowed QoS store "
+                              "(default: in-memory, lost on exit)")
+    monitor.add_argument("--history-retention", type=float, default=3600.0,
+                         help="seconds of QoS history kept, seconds")
+    monitor.add_argument("--snapshot-interval", type=float, default=30.0,
+                         help="period of persisted QoS snapshots (0 = off)")
+    monitor.add_argument("--no-history", action="store_true",
+                         help="disable the windowed QoS store and /qos")
 
     heartbeat = subparsers.add_parser(
         "serve-heartbeat",
@@ -179,6 +203,32 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="seed for crash draws and start phases")
     heartbeat.add_argument("--duration", type=float, default=0.0,
                            help="run this many seconds then exit (0 = forever)")
+    heartbeat.add_argument(
+        "--trace", nargs="?", const="hb-trace.jsonl", default=None,
+        metavar="PATH",
+        help="record emitted heartbeats as send span events to this JSONL "
+             "file (default path when given bare: hb-trace.jsonl)",
+    )
+
+    history = subparsers.add_parser(
+        "qos-history",
+        help="query windowed QoS from a monitor's history database",
+    )
+    history.add_argument("--db", required=True,
+                         help="sqlite file written by serve-monitor "
+                              "--history-db")
+    history.add_argument("--window", type=float, default=3600.0,
+                         help="trailing window length, seconds")
+    history.add_argument("--end", type=float, default=None,
+                         help="window end time (default: newest recorded)")
+    history.add_argument("--endpoint", default=None,
+                         help="restrict to one endpoint")
+    history.add_argument(
+        "--detectors", default="all",
+        help="'all' or comma-separated ids, e.g. Last+JAC_med,Arima+CI_low",
+    )
+    history.add_argument("--json", action="store_true",
+                         help="print the raw JSON documents instead")
     return parser
 
 
@@ -347,6 +397,7 @@ async def _run_until(duration: float, stoppers) -> None:
 def _command_serve_monitor(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.obs import TraceRecorder, WindowedQosStore
     from repro.service import MonitorDaemon
 
     try:
@@ -355,6 +406,20 @@ def _command_serve_monitor(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     endpoints = [e.strip() for e in args.endpoints.split(",") if e.strip()]
+    tracer = (
+        TraceRecorder(
+            args.trace,
+            ring_capacity=args.trace_ring,
+            max_bytes=args.trace_max_bytes,
+        )
+        if args.trace is not None
+        else None
+    )
+    history = (
+        None
+        if args.no_history
+        else WindowedQosStore(args.history_db, retention=args.history_retention)
+    )
     daemon = MonitorDaemon(
         host=args.host,
         port=args.port,
@@ -364,6 +429,9 @@ def _command_serve_monitor(args: argparse.Namespace) -> int:
         detector_ids=detectors,
         initial_timeout=args.initial_timeout,
         auto_register=not args.no_auto_register,
+        tracer=tracer,
+        history=history,
+        snapshot_interval=args.snapshot_interval,
     )
 
     async def serve() -> None:
@@ -376,14 +444,85 @@ def _command_serve_monitor(args: argparse.Namespace) -> int:
               f"({n} detector combinations per endpoint)")
         if daemon.http_endpoint is not None:
             http_host, http_port = daemon.http_endpoint
+            routes = "/status, /healthz, /endpoints"
+            if history is not None:
+                routes += ", /qos"
+            if tracer is not None:
+                routes += ", /trace"
             print(f"monitor: metrics on http://{http_host}:{http_port}/metrics "
-                  f"(also /status, /healthz, /endpoints)")
+                  f"(also {routes})")
+        if tracer is not None:
+            print(f"monitor: tracing heartbeat spans to {args.trace}")
+        if history is not None and args.history_db != ":memory:":
+            print(f"monitor: windowed QoS history in {args.history_db} "
+                  f"(retention {args.history_retention:.0f}s)")
         await _run_until(args.duration, [daemon.stop])
 
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
+    return 0
+
+
+def _command_qos_history(args: argparse.Namespace) -> int:
+    import json as json_module
+    import os
+
+    from repro.obs import WindowedQosStore
+
+    if not os.path.exists(args.db):
+        print(f"error: no such history database: {args.db}", file=sys.stderr)
+        return 2
+    try:
+        detectors = _parse_detectors(args.detectors)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.window <= 0:
+        print("error: --window must be > 0", file=sys.stderr)
+        return 2
+    store = WindowedQosStore(args.db, retention=float(args.window))
+    try:
+        end = args.end if args.end is not None else store.latest_time()
+        if end is None:
+            print(f"history database {args.db} is empty")
+            return 0
+        start = end - args.window
+        names = (
+            [args.endpoint] if args.endpoint is not None else store.endpoints()
+        )
+        windows = []
+        for name in names:
+            ids = detectors if detectors is not None else store.detectors(name)
+            for detector_id in ids:
+                windows.append(store.query(name, detector_id, start, end))
+    finally:
+        store.close()
+    if args.json:
+        for window in windows:
+            print(json_module.dumps(window.to_dict()))
+        return 0
+    print(f"window ({start:.3f}, {end:.3f}] = trailing {args.window:.0f}s "
+          f"from {args.db}")
+    header = (f"{'endpoint':<16} {'detector':<16} {'T_D ms':>9} "
+              f"{'T_M ms':>9} {'T_MR s':>9} {'P_A':>9} {'mist':>5}")
+    print(header)
+    print("-" * len(header))
+
+    def fmt(value, scale=1.0):
+        return "-" if value is None else f"{value * scale:9.3f}"
+
+    for window in windows:
+        qos = window.qos
+        t_d = qos.t_d
+        t_m = qos.t_m
+        t_mr = qos.t_mr
+        print(f"{window.endpoint:<16} {window.detector:<16} "
+              f"{fmt(t_d.mean if t_d else None, 1e3):>9} "
+              f"{fmt(t_m.mean if t_m else None, 1e3):>9} "
+              f"{fmt(t_mr.mean if t_mr else None):>9} "
+              f"{qos.p_a:9.6f} {len(qos.mistakes):>5}")
     return 0
 
 
@@ -396,6 +535,11 @@ def _command_serve_heartbeat(args: argparse.Namespace) -> int:
     if not names:
         print("error: --names must list at least one endpoint", file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import TraceRecorder
+
+        tracer = TraceRecorder(args.trace)
     fleet = HeartbeatFleet(
         names,
         (args.monitor_host, args.monitor_port),
@@ -403,6 +547,7 @@ def _command_serve_heartbeat(args: argparse.Namespace) -> int:
         mttc=args.mttc if args.mttc > 0 else None,
         ttr=args.ttr,
         seed=args.seed,
+        tracer=tracer,
     )
 
     async def serve() -> None:
@@ -418,6 +563,9 @@ def _command_serve_heartbeat(args: argparse.Namespace) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(f"heartbeat: sent {fleet.total_sent()} heartbeats")
     return 0
 
@@ -432,6 +580,7 @@ _COMMANDS = {
     "calibrate": _command_calibrate,
     "serve-monitor": _command_serve_monitor,
     "serve-heartbeat": _command_serve_heartbeat,
+    "qos-history": _command_qos_history,
 }
 
 

@@ -11,7 +11,10 @@ one place keeps the two modes comparable by construction.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids fd -> obs import
+    from repro.obs.trace import TraceRecorder
 
 from repro.fd.combinations import combination_ids, make_strategy, parse_combination_id
 from repro.fd.detector import PushFailureDetector
@@ -32,6 +35,7 @@ def make_detector_bank(
     initial_timeout: float = 10.0,
     observe_stale: bool = True,
     on_transition_factory: Optional[TransitionHookFactory] = None,
+    tracer: Optional["TraceRecorder"] = None,
 ) -> Dict[str, PushFailureDetector]:
     """Build one fresh detector per combination id, keyed by id.
 
@@ -53,6 +57,9 @@ def make_detector_bank(
         Optional hook factory; its return value becomes each detector's
         ``on_transition`` callback (the live service plugs its streaming
         QoS accumulators in here).
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder` shared by every
+        detector in the bank (``None`` = tracing disabled at nil cost).
     """
     if detector_ids is None:
         detector_ids = combination_ids()
@@ -73,6 +80,7 @@ def make_detector_bank(
             initial_timeout=initial_timeout,
             observe_stale=observe_stale,
             on_transition=hook,
+            tracer=tracer,
         )
     return bank
 

@@ -26,7 +26,10 @@ experiment's event log; all QoS metrics are derived from those events.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids fd -> obs import
+    from repro.obs.trace import TraceRecorder
 
 from repro.fd.timeout import TimeoutStrategy
 from repro.neko.layer import Layer
@@ -65,6 +68,13 @@ class PushFailureDetector(Layer):
         suspect/trust transition — how upper layers (consensus, group
         membership) consume the detector as a live oracle rather than
         through the offline event log.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder`.  When set, the
+        detector emits ``freshness`` span events (forecast delta and
+        armed freshness point) for every fresh heartbeat and
+        ``suspect``/``trust`` events on every transition, each carrying
+        the highest heartbeat sequence number seen.  ``None`` (the
+        default) costs one pointer comparison per site.
     """
 
     def __init__(
@@ -78,6 +88,7 @@ class PushFailureDetector(Layer):
         initial_timeout: float = 10.0,
         observe_stale: bool = True,
         on_transition: Optional["Callable[[bool], None]"] = None,
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         super().__init__(name=detector_id or strategy.name)
         if eta <= 0:
@@ -92,6 +103,7 @@ class PushFailureDetector(Layer):
         self._initial_timeout = float(initial_timeout)
         self._observe_stale = bool(observe_stale)
         self._on_transition = on_transition
+        self._tracer = tracer
         self._max_seq = -1
         self._last_fresh_timestamp: Optional[float] = None
         self._suspecting = False
@@ -175,6 +187,8 @@ class PushFailureDetector(Layer):
             if self._suspecting:
                 self._suspecting = False
                 self._emit(EventKind.END_SUSPECT)
+                if self._tracer is not None:
+                    self._trace_transition("trust")
                 if self._on_transition is not None:
                     self._on_transition(False)
             self._arm_next_freshness_point(message.timestamp)
@@ -197,6 +211,16 @@ class PushFailureDetector(Layer):
         tau_local = send_timestamp_local + self.eta + delta
         tau_global = self.process.clock.global_from_local(tau_local)
         self._timer.arm_at(max(self.process.sim.now, tau_global))
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.process.sim.now,
+                "freshness",
+                self.monitored,
+                detector=self.detector_id,
+                seq=self._max_seq,
+                timeout=delta,
+                deadline=tau_global,
+            )
 
     def _expired(self) -> None:
         if self._suspecting:
@@ -204,8 +228,21 @@ class PushFailureDetector(Layer):
         self._suspecting = True
         self.suspicions_raised += 1
         self._emit(EventKind.START_SUSPECT)
+        if self._tracer is not None:
+            self._trace_transition("suspect")
         if self._on_transition is not None:
             self._on_transition(True)
+
+    def _trace_transition(self, kind: str) -> None:
+        assert self._tracer is not None
+        self._tracer.emit(
+            self.process.sim.now,
+            kind,
+            self.monitored,
+            detector=self.detector_id,
+            seq=self._max_seq,
+            timeout=self.strategy.timeout(),
+        )
 
     def _emit(self, kind: EventKind) -> None:
         self._event_log.append(

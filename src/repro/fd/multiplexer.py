@@ -9,7 +9,10 @@ fair: one arrival sequence, thirty simultaneous consumers.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids fd -> obs import
+    from repro.obs.trace import TraceRecorder
 
 from repro.neko.layer import Layer
 from repro.nekostat.events import EventKind, StatEvent
@@ -31,11 +34,13 @@ class MultiPlexer(Layer):
         event_log: Optional[EventLog] = None,
         *,
         record_received_events: bool = False,
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         super().__init__(name="MultiPlexer")
         self._uppers: List[Layer] = list(uppers)
         self._event_log = event_log
         self._record_received_events = bool(record_received_events)
+        self._tracer = tracer
         for upper in self._uppers:
             upper._down = self
         self.messages_fanned_out = 0
@@ -72,6 +77,13 @@ class MultiPlexer(Layer):
                     seq=message.seq,
                     local_time=self.process.local_time(),
                 )
+            )
+        if self._tracer is not None and message.seq is not None:
+            self._tracer.emit(
+                self.process.sim.now,
+                "fanout",
+                message.source,
+                seq=message.seq,
             )
         self.messages_fanned_out += 1
         for upper in self._uppers:

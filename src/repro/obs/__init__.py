@@ -1,0 +1,42 @@
+"""Unified observability layer shared by the simulator and the live service.
+
+The paper's contribution is *measurement*: Chen/Toueg QoS metrics
+observed on a real network.  This package is the measurement substrate
+itself, three pillars behind one wiring point:
+
+* :mod:`repro.obs.trace` — **heartbeat tracing**: a low-overhead
+  structured trace recorder (:class:`TraceRecorder`) that follows each
+  heartbeat through send → receive → predictor forecast → freshness
+  point → trust/suspect transition.  Disabled by default at nil cost
+  (every emission site guards on ``tracer is not None``); when enabled
+  it appends JSONL with size-based rotation and keeps a bounded
+  in-memory ring for the HTTP ``/trace`` tail endpoint.
+* :mod:`repro.obs.history` — **windowed QoS history**: a
+  :class:`WindowedQosStore` persisting detector transitions and periodic
+  :class:`~repro.nekostat.metrics.OnlineQosAccumulator` snapshots to
+  sqlite (ring-pruned by retention), answering windowed queries — "P_A
+  over the last hour" — through ``/qos?window=...`` and the
+  ``repro qos-history`` CLI subcommand.
+* :mod:`repro.obs.hub` — :class:`ObservabilityHub`, the single object a
+  runtime hands to its monitors: it fans each detector transition and
+  crash/restore notification out to the history store and to dirty-set
+  listeners (the incremental Prometheus exporter), and owns the trace
+  recorder's lifecycle.
+
+Labeled per-heartbeat delay/outcome traces are the raw material for
+learning-based detectors (Li & Marin, arXiv:2210.00134), and large-scale
+monitoring needs aggregated, queryable views rather than point samples
+(Dobre et al., arXiv:0910.0708) — this package provides both.
+"""
+
+from repro.obs.history import QosWindow, WindowedQosStore
+from repro.obs.hub import ObservabilityHub
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "ObservabilityHub",
+    "QosWindow",
+    "TraceEvent",
+    "TraceRecorder",
+    "WindowedQosStore",
+]

@@ -1,0 +1,458 @@
+"""Windowed QoS history: sqlite-persisted transitions and snapshots.
+
+The live service's :class:`~repro.nekostat.metrics.OnlineQosAccumulator`
+answers "QoS since start"; operators ask "P_A over the last hour".  The
+:class:`WindowedQosStore` closes that gap by persisting two things per
+``(endpoint, detector)``:
+
+* the **transition stream** — every suspect/trust transition and every
+  crash/restore notification, buffered and flushed in batches; and
+* periodic **cumulative snapshots** of the accumulator (JSON-encoded
+  :class:`~repro.nekostat.metrics.DetectorQos`), for cheap charting of
+  since-start trends.
+
+Both tables are ring-pruned: rows older than ``retention`` seconds
+(relative to the newest recorded time) are deleted on :meth:`prune`, so
+the database stays bounded no matter how long the daemon runs.
+
+Window query semantics
+----------------------
+:meth:`query` computes the QoS of the half-open window ``(start, end]``
+exactly as the batch extractor would see it:
+
+1. the detector/process state *at* ``start`` is reconstructed from the
+   last transition at or before ``start`` (a suspicion or crash that is
+   still open enters the window as a synthetic boundary event at
+   ``start`` — crash first, then suspicion, matching
+   :func:`~repro.nekostat.metrics.extract_qos`'s tie-breaking);
+2. transitions strictly inside the window are replayed through a fresh
+   :class:`~repro.nekostat.metrics.OnlineQosAccumulator` started at
+   ``start``;
+3. the accumulator is snapshotted at ``end``, closing open intervals
+   there.
+
+Because the accumulator is proven equal to ``extract_qos`` on arbitrary
+legal interleavings (``tests/test_online_qos.py``), a window query
+equals batch extraction over the window's log slice re-based to the
+window start — the property ``tests/test_qos_history.py`` asserts.
+
+Queries older than the retention horizon see a truncated transition
+stream and are answered best-effort; keep ``retention`` at least as
+large as the longest window you intend to ask about.
+
+sqlite3 is stdlib, runs in-process, and ``":memory:"`` gives the daemon
+a zero-configuration default; pass a filesystem path to keep history
+across restarts and to let ``repro qos-history`` query it offline.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.nekostat.metrics import DetectorQos, MistakeInterval, OnlineQosAccumulator
+
+#: Transition kinds accepted by :meth:`WindowedQosStore.record_transition`.
+TRANSITION_KINDS = ("suspect", "trust", "crash", "restore")
+
+#: Same-instant replay order: restore before crash before detector
+#: transitions (the accumulator's documented tie-breaking).  Suspect and
+#: trust share a rank so the stable sort preserves their arrival order.
+_KIND_RANK = {"restore": 0, "crash": 1, "suspect": 2, "trust": 2}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS transitions (
+    endpoint TEXT NOT NULL,
+    detector TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    t REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_transitions
+    ON transitions (endpoint, detector, t);
+CREATE TABLE IF NOT EXISTS snapshots (
+    endpoint TEXT NOT NULL,
+    detector TEXT NOT NULL,
+    t REAL NOT NULL,
+    qos TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_snapshots
+    ON snapshots (endpoint, detector, t);
+"""
+
+
+@dataclass(frozen=True)
+class QosWindow:
+    """A window query result: the window bounds plus the extracted QoS."""
+
+    endpoint: str
+    detector: str
+    start: float
+    end: float
+    qos: DetectorQos
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (the ``/qos`` endpoint's payload entry)."""
+        document = _qos_to_dict(self.qos)
+        document.update(
+            {
+                "endpoint": self.endpoint,
+                "detector": self.detector,
+                "window_start": self.start,
+                "window_end": self.end,
+            }
+        )
+        return document
+
+
+def _qos_to_dict(qos: DetectorQos) -> Dict[str, Any]:
+    """Flatten a :class:`DetectorQos` into JSON-able scalars and samples."""
+    t_d = qos.t_d
+    t_m = qos.t_m
+    t_mr = qos.t_mr
+    return {
+        "detection_time_mean": t_d.mean if t_d else None,
+        "detection_time_max": qos.t_d_upper,
+        "detection_samples": len(qos.td_samples),
+        "undetected_crashes": qos.undetected_crashes,
+        "mistake_duration_mean": t_m.mean if t_m else None,
+        "mistake_recurrence_mean": t_mr.mean if t_mr else None,
+        "mistakes": len(qos.mistakes),
+        "query_accuracy_probability": qos.p_a,
+        "empirical_p_a": qos.empirical_p_a,
+        "observation_time": qos.observation_time,
+        "up_time": qos.up_time,
+        "suspected_up_time": qos.suspected_up_time,
+        "td_samples": list(qos.td_samples),
+        "tmr_samples": list(qos.tmr_samples),
+        "mistake_intervals": [[m.start, m.end] for m in qos.mistakes],
+    }
+
+
+def _qos_from_dict(detector: str, document: Dict[str, Any]) -> DetectorQos:
+    """Rebuild a :class:`DetectorQos` from :func:`_qos_to_dict` output."""
+    return DetectorQos(
+        detector=detector,
+        td_samples=[float(v) for v in document.get("td_samples", [])],
+        undetected_crashes=int(document.get("undetected_crashes", 0)),
+        mistakes=[
+            MistakeInterval(start=float(s), end=float(e))
+            for s, e in document.get("mistake_intervals", [])
+        ],
+        tmr_samples=[float(v) for v in document.get("tmr_samples", [])],
+        observation_time=float(document.get("observation_time", 0.0)),
+        up_time=float(document.get("up_time", 0.0)),
+        suspected_up_time=float(document.get("suspected_up_time", 0.0)),
+    )
+
+
+class WindowedQosStore:
+    """Ring-pruned sqlite store of transitions and periodic snapshots.
+
+    Parameters
+    ----------
+    path:
+        sqlite database path, or ``":memory:"`` (default) for an
+        in-process ephemeral store.
+    retention:
+        Seconds of history kept by :meth:`prune` (measured back from
+        the newest recorded time).
+    flush_every:
+        Buffered transition rows are committed once this many are
+        pending (queries and :meth:`close` always flush first).
+    """
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        retention: float = 3600.0,
+        flush_every: int = 256,
+    ) -> None:
+        if retention <= 0:
+            raise ValueError(f"retention must be > 0, got {retention!r}")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = path
+        self.retention = float(retention)
+        self.flush_every = int(flush_every)
+        self._connection = sqlite3.connect(path)
+        self._connection.executescript(_SCHEMA)
+        self._pending: List[Tuple[str, str, str, float]] = []
+        self._last_time = float("-inf")
+        self._closed = False
+        # Self-measurement (exposed as fd_obs_* meta-metrics).
+        self.transitions_total = 0
+        self.snapshots_total = 0
+        self.flushes_total = 0
+        self.pruned_rows_total = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_transition(
+        self, endpoint: str, detector: str, kind: str, t: float
+    ) -> None:
+        """Buffer one transition row.
+
+        ``kind`` is one of :data:`TRANSITION_KINDS`; crash/restore rows
+        conventionally carry ``detector=""`` (endpoint scope — they
+        apply to every detector watching the endpoint).
+        """
+        if self._closed:
+            return
+        if kind not in _KIND_RANK:
+            raise ValueError(
+                f"unknown transition kind {kind!r}; expected one of "
+                f"{TRANSITION_KINDS}"
+            )
+        self._pending.append((endpoint, detector, kind, float(t)))
+        self.transitions_total += 1
+        if t > self._last_time:
+            self._last_time = float(t)
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def record_suspect(self, endpoint: str, detector: str, t: float) -> None:
+        """The detector started suspecting ``endpoint`` at ``t``."""
+        self.record_transition(endpoint, detector, "suspect", t)
+
+    def record_trust(self, endpoint: str, detector: str, t: float) -> None:
+        """The detector stopped suspecting ``endpoint`` at ``t``."""
+        self.record_transition(endpoint, detector, "trust", t)
+
+    def record_crash(self, endpoint: str, t: float) -> None:
+        """``endpoint`` crashed at ``t`` (applies to all its detectors)."""
+        self.record_transition(endpoint, "", "crash", t)
+
+    def record_restore(self, endpoint: str, t: float) -> None:
+        """``endpoint`` was restored at ``t``."""
+        self.record_transition(endpoint, "", "restore", t)
+
+    def record_snapshot(
+        self, endpoint: str, detector: str, t: float, qos: DetectorQos
+    ) -> None:
+        """Persist one cumulative accumulator snapshot."""
+        if self._closed:
+            return
+        self._connection.execute(
+            "INSERT INTO snapshots (endpoint, detector, t, qos) "
+            "VALUES (?, ?, ?, ?)",
+            (endpoint, detector, float(t), json.dumps(_qos_to_dict(qos))),
+        )
+        self.snapshots_total += 1
+        if t > self._last_time:
+            self._last_time = float(t)
+
+    def flush(self) -> None:
+        """Commit buffered transition rows."""
+        if self._pending:
+            self._connection.executemany(
+                "INSERT INTO transitions (endpoint, detector, kind, t) "
+                "VALUES (?, ?, ?, ?)",
+                self._pending,
+            )
+            self._pending.clear()
+            self.flushes_total += 1
+        self._connection.commit()
+
+    def prune(self, now: Optional[float] = None) -> int:
+        """Delete rows older than the retention horizon; returns count.
+
+        The horizon is ``(now or newest recorded time) - retention``.
+        """
+        self.flush()
+        reference = now if now is not None else self._last_time
+        if reference == float("-inf"):
+            return 0
+        horizon = reference - self.retention
+        removed = 0
+        for table in ("transitions", "snapshots"):
+            cursor = self._connection.execute(
+                f"DELETE FROM {table} WHERE t < ?", (horizon,)
+            )
+            removed += cursor.rowcount
+        self._connection.commit()
+        self.pruned_rows_total += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def endpoints(self) -> List[str]:
+        """Distinct endpoints with any recorded history, sorted."""
+        self.flush()
+        rows = self._connection.execute(
+            "SELECT DISTINCT endpoint FROM transitions "
+            "UNION SELECT DISTINCT endpoint FROM snapshots"
+        ).fetchall()
+        return sorted(row[0] for row in rows)
+
+    def latest_time(self) -> Optional[float]:
+        """Newest recorded time across both tables (``None`` when empty).
+
+        Lets an offline reader (``repro qos-history``) anchor a trailing
+        window without knowing the recording scheduler's clock.
+        """
+        self.flush()
+        row = self._connection.execute(
+            "SELECT MAX(t) FROM ("
+            "SELECT t FROM transitions UNION ALL SELECT t FROM snapshots)"
+        ).fetchone()
+        return None if row is None or row[0] is None else float(row[0])
+
+    def detectors(self, endpoint: str) -> List[str]:
+        """Distinct detector ids recorded for ``endpoint``, sorted."""
+        self.flush()
+        rows = self._connection.execute(
+            "SELECT DISTINCT detector FROM transitions "
+            "WHERE endpoint = ? AND detector != '' "
+            "UNION SELECT DISTINCT detector FROM snapshots "
+            "WHERE endpoint = ? AND detector != ''",
+            (endpoint, endpoint),
+        ).fetchall()
+        return sorted(row[0] for row in rows)
+
+    def _state_at(
+        self, endpoint: str, detector: str, t: float
+    ) -> Tuple[bool, bool]:
+        """(crashed, suspecting) state at instant ``t`` (inclusive)."""
+        row = self._connection.execute(
+            "SELECT kind FROM transitions "
+            "WHERE endpoint = ? AND detector = '' AND t <= ? "
+            "ORDER BY t DESC, rowid DESC LIMIT 1",
+            (endpoint, t),
+        ).fetchone()
+        crashed = row is not None and row[0] == "crash"
+        row = self._connection.execute(
+            "SELECT kind FROM transitions "
+            "WHERE endpoint = ? AND detector = ? AND t <= ? "
+            "ORDER BY t DESC, rowid DESC LIMIT 1",
+            (endpoint, detector, t),
+        ).fetchone()
+        suspecting = row is not None and row[0] == "suspect"
+        return crashed, suspecting
+
+    def query(
+        self, endpoint: str, detector: str, start: float, end: float
+    ) -> QosWindow:
+        """QoS of ``(start, end]`` for one ``(endpoint, detector)``.
+
+        See the module docstring for the exact semantics (boundary
+        closure at ``start``, replay, snapshot at ``end``).
+        """
+        if end < start:
+            raise ValueError(
+                f"window end {end!r} precedes window start {start!r}"
+            )
+        self.flush()
+        crashed, suspecting = self._state_at(endpoint, detector, start)
+        rows = self._connection.execute(
+            "SELECT kind, t FROM transitions "
+            "WHERE endpoint = ? AND (detector = ? OR detector = '') "
+            "AND t > ? AND t <= ? ORDER BY t, rowid",
+            (endpoint, detector, start, end),
+        ).fetchall()
+        accumulator = OnlineQosAccumulator(detector, start_time=start)
+        if crashed:
+            accumulator.observe_crash(start)
+        if suspecting:
+            accumulator.observe_suspect(start)
+        for kind, t in sorted(
+            rows, key=lambda row: (row[1], _KIND_RANK[row[0]])
+        ):
+            if kind == "suspect":
+                accumulator.observe_suspect(t)
+            elif kind == "trust":
+                accumulator.observe_trust(t)
+            elif kind == "crash":
+                accumulator.observe_crash(t)
+            else:
+                accumulator.observe_restore(t)
+        return QosWindow(
+            endpoint=endpoint,
+            detector=detector,
+            start=start,
+            end=end,
+            qos=accumulator.snapshot(end),
+        )
+
+    def query_many(
+        self,
+        start: float,
+        end: float,
+        *,
+        endpoint: Optional[str] = None,
+        detector: Optional[str] = None,
+    ) -> List[QosWindow]:
+        """Window queries over every recorded (endpoint, detector) pair,
+        optionally filtered to one endpoint and/or one detector id."""
+        windows: List[QosWindow] = []
+        names = [endpoint] if endpoint is not None else self.endpoints()
+        for name in names:
+            detector_ids = (
+                [detector] if detector is not None else self.detectors(name)
+            )
+            for detector_id in detector_ids:
+                windows.append(self.query(name, detector_id, start, end))
+        return windows
+
+    def snapshots(
+        self,
+        endpoint: str,
+        detector: str,
+        *,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> List[Tuple[float, DetectorQos]]:
+        """Persisted cumulative snapshots in ``[start, end]``, by time."""
+        self.flush()
+        rows = self._connection.execute(
+            "SELECT t, qos FROM snapshots "
+            "WHERE endpoint = ? AND detector = ? AND t >= ? AND t <= ? "
+            "ORDER BY t, rowid",
+            (endpoint, detector, start, end),
+        ).fetchall()
+        return [
+            (t, _qos_from_dict(detector, json.loads(payload)))
+            for t, payload in rows
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """The store's self-measurement (meta-metrics payload)."""
+        return {
+            "transitions_total": self.transitions_total,
+            "snapshots_total": self.snapshots_total,
+            "flushes_total": self.flushes_total,
+            "pruned_rows_total": self.pruned_rows_total,
+            "pending": len(self._pending),
+            "retention_seconds": self.retention,
+            "path": self.path,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and close the database; further recording no-ops."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        self._connection.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"WindowedQosStore(path={self.path!r}, {state}, "
+            f"transitions={self.transitions_total})"
+        )
+
+
+__all__ = ["QosWindow", "TRANSITION_KINDS", "WindowedQosStore"]

@@ -1,0 +1,124 @@
+"""The observability wiring point shared by a runtime's monitors.
+
+A runtime (the live :class:`~repro.service.daemon.MonitorDaemon`, a
+test harness, a future sharded worker) creates one
+:class:`ObservabilityHub` and hands it to every endpoint monitor.  The
+monitors report the four transition kinds through the hub, and the hub
+fans each report out to:
+
+* the :class:`~repro.obs.history.WindowedQosStore` (when configured),
+  so windowed queries can replay the stream later;
+* registered *dirty listeners* — callables ``(endpoint, detector)``
+  notified that a series changed; the incremental Prometheus exporter
+  subscribes here to invalidate exactly the series that moved.
+
+The hub also owns the optional :class:`~repro.obs.trace.TraceRecorder`
+lifecycle.  The recorder itself is *not* fed through the hub: trace
+emission happens at the layer with the richest context (the detector
+knows the heartbeat sequence number, the daemon knows the one-way
+delay), so the hub only carries the reference and closes it on
+:meth:`close`.
+
+Transitions are rare next to heartbeats (a healthy fleet transitions
+never; a noisy one a few times a minute per detector), so the hub sits
+entirely off the heartbeat hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.obs.history import WindowedQosStore
+from repro.obs.trace import TraceRecorder
+
+#: Listener signature: ``listener(endpoint, detector)``; ``detector`` is
+#: ``""`` for endpoint-scope changes (crash/restore, add/remove).
+DirtyListener = Callable[[str, str], None]
+
+
+class ObservabilityHub:
+    """Fan-out point for transition reports (see module docstring)."""
+
+    def __init__(
+        self,
+        *,
+        tracer: Optional[TraceRecorder] = None,
+        history: Optional[WindowedQosStore] = None,
+        own: bool = True,
+    ) -> None:
+        self.tracer = tracer
+        self.history = history
+        self._own = bool(own)
+        self._dirty_listeners: List[DirtyListener] = []
+
+    def add_dirty_listener(self, listener: DirtyListener) -> None:
+        """Subscribe to per-series change notifications."""
+        self._dirty_listeners.append(listener)
+
+    def _notify(self, endpoint: str, detector: str) -> None:
+        for listener in self._dirty_listeners:
+            listener(endpoint, detector)
+
+    # ------------------------------------------------------------------
+    # Transition intake (called by endpoint monitors)
+    # ------------------------------------------------------------------
+    def on_detector_transition(
+        self, endpoint: str, detector: str, suspecting: bool, t: float
+    ) -> None:
+        """A detector changed its verdict on ``endpoint`` at ``t``."""
+        if self.history is not None:
+            if suspecting:
+                self.history.record_suspect(endpoint, detector, t)
+            else:
+                self.history.record_trust(endpoint, detector, t)
+        self._notify(endpoint, detector)
+
+    def on_crash(self, endpoint: str, t: float) -> None:
+        """``endpoint`` was observed (or announced) crashing at ``t``."""
+        if self.history is not None:
+            self.history.record_crash(endpoint, t)
+        self._notify(endpoint, "")
+
+    def on_restore(self, endpoint: str, t: float) -> None:
+        """``endpoint`` was restored (announced or inferred) at ``t``."""
+        if self.history is not None:
+            self.history.record_restore(endpoint, t)
+        self._notify(endpoint, "")
+
+    def on_endpoint_added(self, endpoint: str) -> None:
+        """A new endpoint joined the monitored set."""
+        self._notify(endpoint, "")
+
+    def on_endpoint_removed(self, endpoint: str) -> None:
+        """An endpoint left the monitored set."""
+        self._notify(endpoint, "")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the trace file and the history store's write buffer."""
+        if self.tracer is not None:
+            self.tracer.flush()
+        if self.history is not None:
+            self.history.flush()
+
+    def close(self) -> None:
+        """Close owned sinks (no-op when constructed with ``own=False``)."""
+        if not self._own:
+            self.flush()
+            return
+        if self.tracer is not None:
+            self.tracer.close()
+        if self.history is not None:
+            self.history.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ObservabilityHub(tracer={self.tracer is not None}, "
+            f"history={self.history is not None}, "
+            f"listeners={len(self._dirty_listeners)})"
+        )
+
+
+__all__ = ["DirtyListener", "ObservabilityHub"]

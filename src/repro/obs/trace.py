@@ -1,0 +1,249 @@
+"""Structured heartbeat tracing: span events, JSONL rotation, ring tail.
+
+A trace follows one heartbeat across the whole pipeline:
+
+==============  ======================================================
+``kind``        emitted by / meaning
+==============  ======================================================
+``send``        :class:`~repro.service.heartbeat.HeartbeatEmitter` put
+                the heartbeat on the wire
+``receive``     :class:`~repro.service.daemon.MonitorDaemon` decoded
+                and routed the datagram (``delay`` = one-way delay)
+``fanout``      :class:`~repro.fd.multiplexer.MultiPlexer` forwarded
+                the arrival to every detector combination
+``freshness``   :class:`~repro.fd.detector.PushFailureDetector`
+                consumed a fresh heartbeat: the strategy's forecast
+                (``timeout`` = delta = prediction + safety margin) and
+                the armed freshness point (``deadline`` = tau)
+``suspect``     the detector started suspecting (``seq`` = highest
+                heartbeat sequence seen at the transition)
+``trust``       the detector stopped suspecting (a fresh heartbeat)
+``crash``       crash control datagram (or inferred crash) observed
+``restore``     restore control datagram (or inferred restore) observed
+==============  ======================================================
+
+The recorder is engineered for a hot path that almost never runs it:
+emission sites guard on ``tracer is not None``, so the *disabled*
+default costs one pointer comparison.  When enabled, every event lands
+in a bounded in-memory ring (the ``/trace`` HTTP tail) and — when a
+``path`` is configured — as one JSON line in an append-only file with
+size-based rotation (``path`` → ``path.1`` → ``path.2`` …).
+
+The recorder also measures itself: events/bytes written, ring
+evictions, and the cumulative wall-clock overhead of :meth:`emit`,
+exposed as meta-metrics by the service exporter so the cost of
+observing never has to be guessed.
+
+Single-threaded by design: the live service emits from one asyncio
+event loop.  (The discrete-event simulator is single-threaded too.)
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import os
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One span event on a heartbeat's journey (see module table)."""
+
+    t: float
+    kind: str
+    endpoint: str
+    detector: str = ""
+    seq: int = -1
+    delay: Optional[float] = None
+    timeout: Optional[float] = None
+    deadline: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact JSON-able form: optional fields omitted when unset."""
+        record: Dict[str, Any] = {
+            "t": self.t,
+            "kind": self.kind,
+            "endpoint": self.endpoint,
+        }
+        if self.detector:
+            record["detector"] = self.detector
+        if self.seq >= 0:
+            record["seq"] = self.seq
+        if self.delay is not None and not math.isnan(self.delay):
+            record["delay"] = self.delay
+        if self.timeout is not None and not math.isnan(self.timeout):
+            record["timeout"] = self.timeout
+        if self.deadline is not None and not math.isnan(self.deadline):
+            record["deadline"] = self.deadline
+        return record
+
+
+class TraceRecorder:
+    """Low-overhead sink for :class:`TraceEvent` spans.
+
+    Parameters
+    ----------
+    path:
+        JSONL output file; ``None`` keeps events in memory only (the
+        ring still serves the ``/trace`` tail).
+    ring_capacity:
+        Number of most-recent events retained in memory.
+    max_bytes:
+        Rotate the JSONL file when it grows past this size.
+    backups:
+        Rotated generations kept (``path.1`` … ``path.<backups>``).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        ring_capacity: int = 4096,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 2,
+    ) -> None:
+        if ring_capacity < 1:
+            raise ValueError(f"ring_capacity must be >= 1, got {ring_capacity}")
+        if max_bytes < 4096:
+            raise ValueError(f"max_bytes must be >= 4096, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
+        self.path = path
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._ring: "deque[TraceEvent]" = deque(maxlen=ring_capacity)
+        self._file: Optional[io.TextIOWrapper] = None
+        self._file_bytes = 0
+        if path is not None:
+            self._file = open(path, "a", encoding="utf-8")
+            self._file_bytes = self._file.tell()
+        self._closed = False
+        # Self-measurement (exposed as fd_obs_* meta-metrics).
+        self.events_total = 0
+        self.bytes_total = 0
+        self.evicted_total = 0
+        self.rotations_total = 0
+        self.overhead_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        t: float,
+        kind: str,
+        endpoint: str,
+        *,
+        detector: str = "",
+        seq: int = -1,
+        delay: Optional[float] = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        """Record one span event (no-op after :meth:`close`)."""
+        if self._closed:
+            return
+        started = perf_counter()
+        event = TraceEvent(
+            t=t,
+            kind=kind,
+            endpoint=endpoint,
+            detector=detector,
+            seq=seq,
+            delay=delay,
+            timeout=timeout,
+            deadline=deadline,
+        )
+        if len(self._ring) == self._ring.maxlen:
+            self.evicted_total += 1
+        self._ring.append(event)
+        self.events_total += 1
+        if self._file is not None:
+            line = json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+            self._file.write(line)
+            written = len(line.encode("utf-8"))
+            self._file_bytes += written
+            self.bytes_total += written
+            if self._file_bytes >= self.max_bytes:
+                self._rotate()
+        self.overhead_seconds += perf_counter() - started
+
+    def _rotate(self) -> None:
+        assert self._file is not None and self.path is not None
+        self._file.close()
+        if self.backups == 0:
+            os.remove(self.path)
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                source = f"{self.path}.{index}"
+                if os.path.exists(source):
+                    os.replace(source, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._file_bytes = 0
+        self.rotations_total += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def tail(self, limit: int = 100) -> List[Dict[str, Any]]:
+        """The most recent ``limit`` events, oldest first, as dicts."""
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        events = list(self._ring)
+        if limit < len(events):
+            events = events[len(events) - limit:]
+        return [event.to_dict() for event in events]
+
+    def stats(self) -> Dict[str, Any]:
+        """The recorder's self-measurement (meta-metrics payload)."""
+        return {
+            "events_total": self.events_total,
+            "bytes_total": self.bytes_total,
+            "evicted_total": self.evicted_total,
+            "rotations_total": self.rotations_total,
+            "overhead_seconds": self.overhead_seconds,
+            "ring_size": len(self._ring),
+            "ring_capacity": self._ring.maxlen,
+            "path": self.path,
+        }
+
+    def flush(self) -> None:
+        """Push buffered JSONL lines to the OS."""
+        if self._file is not None:
+            self._file.flush()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and close the JSONL file; further emits no-op."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"TraceRecorder(path={self.path!r}, {state}, "
+            f"events={self.events_total})"
+        )
+
+
+__all__ = ["TraceEvent", "TraceRecorder"]

@@ -19,17 +19,32 @@ Shutdown is graceful with a bounded drain: intake stops first (UDP
 transport closed), in-flight HTTP responses get up to ``drain`` seconds
 to finish, then every detector timer is cancelled and the scheduler is
 closed so nothing can leak.
+
+Observability: the daemon owns one
+:class:`~repro.obs.hub.ObservabilityHub` wiring the optional
+:class:`~repro.obs.trace.TraceRecorder` (span events: send → receive →
+fanout → freshness → suspect/trust, plus crash/restore) and the optional
+:class:`~repro.obs.history.WindowedQosStore` (windowed QoS queries, fed
+by every transition plus periodic cumulative snapshots) into the
+monitors.  ``/metrics`` is served by an
+:class:`~repro.service.exporter.IncrementalExporter` subscribed to the
+hub's dirty notifications; both sinks default to ``None`` at nil cost.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.history import WindowedQosStore
+    from repro.obs.trace import TraceRecorder
 
 from repro.fd.combinations import combination_ids
 from repro.net.message import Datagram
 from repro.net.udp import decode_datagram
-from repro.service.exporter import render_prometheus, render_status
+from repro.obs.hub import ObservabilityHub
+from repro.service.exporter import IncrementalExporter, render_status
 from repro.service.registry import EndpointMonitor, EndpointRegistry
 from repro.service.runtime import AsyncioScheduler, ServiceSystem
 
@@ -66,6 +81,18 @@ class MonitorDaemon:
         well-behaved emitters (not currently enforced).
     log_capacity:
         Bounded per-endpoint event-log tail retained for debugging.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; enables
+        heartbeat tracing (``None`` = disabled at nil cost).
+    history:
+        Optional :class:`~repro.obs.history.WindowedQosStore`; enables
+        windowed QoS queries via :meth:`qos_window` / ``/qos``.
+    snapshot_interval:
+        Period, seconds, of the cumulative-QoS snapshots persisted into
+        ``history`` (ignored without a history store; ``0`` disables).
+    own_observability:
+        Whether :meth:`stop` closes the tracer/history (default).  Pass
+        ``False`` when the caller manages their lifecycle.
     """
 
     def __init__(
@@ -82,6 +109,10 @@ class MonitorDaemon:
         address: str = "monitor",
         log_capacity: int = 4096,
         max_endpoints: int = 10_000,
+        tracer: Optional["TraceRecorder"] = None,
+        history: Optional["WindowedQosStore"] = None,
+        snapshot_interval: float = 30.0,
+        own_observability: bool = True,
     ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
@@ -102,12 +133,22 @@ class MonitorDaemon:
         self.address = address
         self._log_capacity = log_capacity
         self._max_endpoints = max_endpoints
+        if snapshot_interval < 0:
+            raise ValueError(
+                f"snapshot_interval must be >= 0, got {snapshot_interval!r}"
+            )
+        self.snapshot_interval = float(snapshot_interval)
+        self.obs = ObservabilityHub(
+            tracer=tracer, history=history, own=own_observability
+        )
 
         self._scheduler: Optional[AsyncioScheduler] = None
         self._system: Optional[ServiceSystem] = None
         self._registry: Optional[EndpointRegistry] = None
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._http_server = None  # MetricsHttpServer, created in start()
+        self._exporter: Optional[IncrementalExporter] = None
+        self._snapshot_handle = None
         self._started_at = 0.0
         self._running = False
         # Fleet-level counters.
@@ -131,7 +172,11 @@ class MonitorDaemon:
             initial_timeout=self.initial_timeout,
             log_capacity=self._log_capacity,
             max_endpoints=self._max_endpoints,
+            hub=self.obs,
+            tracer=self.obs.tracer,
         )
+        self._exporter = IncrementalExporter(self)
+        self.obs.add_dirty_listener(self._exporter.on_change)
         transport, _protocol = await loop.create_datagram_endpoint(
             lambda: _MonitorProtocol(self),
             local_addr=(self._host, self._port),
@@ -146,6 +191,8 @@ class MonitorDaemon:
             await self._http_server.start()
         self._started_at = self._scheduler.now
         self._running = True
+        if self.obs.history is not None and self.snapshot_interval > 0:
+            self._arm_snapshot_timer()
 
     async def stop(self, *, drain: float = 1.0) -> None:
         """Graceful shutdown with bounded drain (idempotent).
@@ -163,10 +210,17 @@ class MonitorDaemon:
         if self._http_server is not None:
             await self._http_server.stop(drain=drain)
             self._http_server = None
+        if self._snapshot_handle is not None:
+            self._snapshot_handle.cancel()
+            self._snapshot_handle = None
+        if self.obs.history is not None:
+            # Final snapshot so the persisted trend covers the full run.
+            self._take_snapshots()
         if self._registry is not None:
             self._registry.close()
         if self._scheduler is not None:
             self._scheduler.close()
+        self.obs.close()
         # One loop turn so transport close callbacks run before we return.
         await asyncio.sleep(0)
 
@@ -174,6 +228,11 @@ class MonitorDaemon:
     def running(self) -> bool:
         """Whether the daemon is started and serving."""
         return self._running
+
+    @property
+    def started_at(self) -> float:
+        """Scheduler time at which :meth:`start` completed."""
+        return self._started_at
 
     @property
     def scheduler(self) -> AsyncioScheduler:
@@ -188,6 +247,13 @@ class MonitorDaemon:
         if self._registry is None:
             raise RuntimeError("daemon is not started")
         return self._registry
+
+    @property
+    def exporter(self) -> IncrementalExporter:
+        """The incremental Prometheus exporter (after :meth:`start`)."""
+        if self._exporter is None:
+            raise RuntimeError("daemon is not started")
+        return self._exporter
 
     @property
     def udp_endpoint(self) -> Tuple[str, int]:
@@ -242,6 +308,17 @@ class MonitorDaemon:
                     self.dropped_datagrams += 1
                     return
             self.heartbeats_total += 1
+            tracer = self.obs.tracer
+            if tracer is not None and message.seq is not None:
+                now = self.scheduler.now
+                delay = (
+                    now - message.timestamp
+                    if message.timestamp is not None
+                    else None
+                )
+                tracer.emit(
+                    now, "receive", message.source, seq=message.seq, delay=delay
+                )
             monitor.deliver(message)
         elif message.kind == "crash":
             if monitor is None:
@@ -260,6 +337,96 @@ class MonitorDaemon:
         # Monitor-side layers are receive-only today; outbound datagrams
         # (a future pull-style detector) would need a peer table first.
         self.dropped_datagrams += 1
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def inferred_restores_total(self) -> int:
+        """Restores inferred from heartbeat resumption, fleet-wide."""
+        if self._registry is None:
+            return 0
+        return sum(monitor.inferred_restores for monitor in self._registry)
+
+    def _arm_snapshot_timer(self) -> None:
+        self._snapshot_handle = self.scheduler.schedule(
+            self.snapshot_interval, self._snapshot_tick, name="obs:snapshot"
+        )
+
+    def _snapshot_tick(self) -> None:
+        self._take_snapshots()
+        if self._running:
+            self._arm_snapshot_timer()
+
+    def _take_snapshots(self) -> None:
+        """Persist one cumulative-QoS snapshot per series, then prune."""
+        history = self.obs.history
+        if history is None or history.closed or self._registry is None:
+            return
+        now = self.scheduler.now
+        for monitor in self._registry:
+            for detector_id, accumulator in monitor.accumulators.items():
+                history.record_snapshot(
+                    monitor.name, detector_id, now, accumulator.snapshot(now)
+                )
+        history.prune(now)
+        history.flush()
+
+    def qos_window(
+        self,
+        window: float,
+        *,
+        endpoint: Optional[str] = None,
+        detector: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """QoS over the trailing ``window`` seconds (the ``/qos`` payload).
+
+        Requires a history store; raises :class:`RuntimeError` without
+        one.  The result agrees with batch ``extract_qos`` over the same
+        slice of the transition log (property-tested).
+        """
+        history = self.obs.history
+        if history is None:
+            raise RuntimeError("windowed QoS requires a history store")
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window!r}")
+        end = self.scheduler.now
+        start = max(0.0, end - window)
+        if endpoint is not None:
+            names = [endpoint]
+        else:
+            names = self.registry.names()
+        detector_ids: Sequence[str] = (
+            [detector] if detector is not None else self.detector_ids
+        )
+        endpoints: Dict[str, Any] = {}
+        for name in names:
+            monitor = self.registry.get(name)
+            if monitor is None:
+                continue
+            ids = [d for d in detector_ids if d in monitor.accumulators]
+            endpoints[name] = {
+                detector_id: history.query(
+                    name, detector_id, start, end
+                ).to_dict()
+                for detector_id in ids
+            }
+        return {
+            "window_seconds": float(window),
+            "start": start,
+            "end": end,
+            "endpoints": endpoints,
+        }
+
+    def trace_tail(self, limit: int = 100) -> Dict[str, Any]:
+        """The most recent trace events (the ``/trace`` payload).
+
+        Requires a trace recorder; raises :class:`RuntimeError` without
+        one.
+        """
+        tracer = self.obs.tracer
+        if tracer is None:
+            raise RuntimeError("tracing is not enabled")
+        return {"events": tracer.tail(limit), "recorder": tracer.stats()}
 
     # ------------------------------------------------------------------
     # Export
@@ -287,8 +454,11 @@ class MonitorDaemon:
         )
 
     def metrics_text(self) -> str:
-        """The Prometheus exposition of :meth:`status`."""
-        return render_prometheus(self.status())
+        """The Prometheus exposition (incremental: cached QoS body plus a
+        fresh volatile head; see :class:`IncrementalExporter`)."""
+        if self._exporter is None:
+            raise RuntimeError("daemon is not started")
+        return self._exporter.render()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         n = len(self._registry) if self._registry is not None else 0

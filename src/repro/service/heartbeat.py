@@ -24,9 +24,12 @@ use.
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 from repro.net.message import Datagram
 from repro.net.udp import encode_datagram
@@ -45,6 +48,7 @@ class HeartbeatEmitter:
         eta: float,
         monitor_address: str = "monitor",
         phase: float = 0.0,
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
@@ -56,6 +60,7 @@ class HeartbeatEmitter:
         self._send = send
         self._scheduler = scheduler
         self._phase = float(phase)
+        self._tracer = tracer
         self._origin = 0.0
         self._tick = 0
         self._handle = None
@@ -140,15 +145,18 @@ class HeartbeatEmitter:
             self.suppressed += 1
         else:
             self.sent += 1
+            now = self._scheduler.now
             self._send(
                 Datagram(
                     source=self.name,
                     destination=self.monitor_address,
                     kind="heartbeat",
                     seq=seq,
-                    timestamp=self._scheduler.now,
+                    timestamp=now,
                 )
             )
+            if self._tracer is not None:
+                self._tracer.emit(now, "send", self.name, seq=seq)
         if self._running:
             self._schedule_next()
 
@@ -236,6 +244,10 @@ class HeartbeatFleet:
         Seeds the injectors' crash draws and the emitters' start phases
         (emitters are phase-staggered across one period so a large fleet
         does not beat in lockstep).
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder` shared by all
+        emitters; each put-on-the-wire heartbeat becomes a ``send`` span
+        event (the sender half of the end-to-end heartbeat trace).
     """
 
     def __init__(
@@ -248,6 +260,7 @@ class HeartbeatFleet:
         mttc: Optional[float] = None,
         ttr: float = 20.0,
         seed: Optional[int] = None,
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         if not names:
             raise ValueError("fleet needs at least one endpoint name")
@@ -259,6 +272,7 @@ class HeartbeatFleet:
         self._monitor_address = monitor_address
         self._mttc = mttc
         self._ttr = ttr
+        self._tracer = tracer
         self._rng = np.random.default_rng(seed)
         self._scheduler: Optional[AsyncioScheduler] = None
         self._transport: Optional[asyncio.DatagramTransport] = None
@@ -284,6 +298,7 @@ class HeartbeatFleet:
                 eta=self.eta,
                 monitor_address=self._monitor_address,
                 phase=float(self._rng.uniform(0.0, self.eta)),
+                tracer=self._tracer,
             )
             self.emitters[name] = emitter
             emitter.start()

@@ -8,6 +8,11 @@ route                      behaviour
 ``GET /metrics``           Prometheus text exposition (0.0.4)
 ``GET /status``            JSON status document
 ``GET /healthz``           liveness probe (``ok``)
+``GET /trace``             recent span events (``?limit=N``); 404 when
+                           tracing is disabled
+``GET /qos``               windowed QoS (``?window=SECONDS`` plus
+                           optional ``endpoint``/``detector`` filters);
+                           404 when no history store is configured
 ``POST /endpoints``        register an endpoint (body ``{"name": ...}``)
 ``DELETE /endpoints/<n>``  deregister endpoint ``<n>``
 =========================  ==============================================
@@ -22,7 +27,8 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Set, Tuple, TYPE_CHECKING
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+from urllib.parse import parse_qs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.service.daemon import MonitorDaemon
@@ -138,7 +144,11 @@ class MetricsHttpServer:
     def _route(
         self, method: str, target: str, body: bytes
     ) -> Tuple[int, str, bytes]:
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
+        if method == "GET" and path == "/trace":
+            return self._route_trace(query)
+        if method == "GET" and path == "/qos":
+            return self._route_qos(query)
         if method == "GET" and path == "/metrics":
             return (
                 200,
@@ -175,9 +185,51 @@ class MetricsHttpServer:
             except KeyError:
                 return 404, "text/plain", b"no such endpoint\n"
             return 200, "application/json", json.dumps({"removed": name}).encode()
-        if path in ("/metrics", "/status", "/healthz", "/endpoints"):
+        if path in ("/metrics", "/status", "/healthz", "/endpoints", "/trace", "/qos"):
             return 405, "text/plain", b"method not allowed\n"
         return 404, "text/plain", b"not found\n"
+
+    # ------------------------------------------------------------------
+    # Observability routes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _query_params(query: str) -> Dict[str, str]:
+        return {
+            key: values[-1]
+            for key, values in parse_qs(query, keep_blank_values=True).items()
+        }
+
+    def _route_trace(self, query: str) -> Tuple[int, str, bytes]:
+        params = self._query_params(query)
+        try:
+            limit = int(params.get("limit", "100"))
+        except ValueError:
+            return 400, "text/plain", b"limit must be an integer\n"
+        if limit <= 0:
+            return 400, "text/plain", b"limit must be > 0\n"
+        try:
+            payload = self._daemon.trace_tail(limit)
+        except RuntimeError:
+            return 404, "text/plain", b"tracing is not enabled\n"
+        return 200, "application/json", json.dumps(payload).encode("utf-8")
+
+    def _route_qos(self, query: str) -> Tuple[int, str, bytes]:
+        params = self._query_params(query)
+        try:
+            window = float(params.get("window", "3600"))
+        except ValueError:
+            return 400, "text/plain", b"window must be a number\n"
+        if not window > 0:
+            return 400, "text/plain", b"window must be > 0\n"
+        try:
+            payload = self._daemon.qos_window(
+                window,
+                endpoint=params.get("endpoint"),
+                detector=params.get("detector"),
+            )
+        except RuntimeError:
+            return 404, "text/plain", b"windowed QoS history is not enabled\n"
+        return 200, "application/json", json.dumps(payload).encode("utf-8")
 
     @staticmethod
     async def _respond(

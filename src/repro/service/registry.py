@@ -8,11 +8,24 @@ margin) combination — plus one streaming
 by the detectors' ``on_transition`` hooks and by crash/restore
 notifications from the live crash injector.  Endpoints can be added and
 removed while the daemon runs.
+
+Crash-oracle hardening: UDP may lose a ``restore`` control datagram,
+which would leave the oracle stuck in the crashed state and silently
+poison every later QoS sample.  Because emitters keep advancing their
+sequence numbers *through* crash periods (SimCrash semantics — beats are
+suppressed, not renumbered), any heartbeat whose sequence number exceeds
+everything seen before the crash proves the endpoint is beating again:
+the monitor then infers the lost ``restore`` itself.  Stale in-flight
+heartbeats from before the crash can never trigger the inference.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hub import ObservabilityHub
+    from repro.obs.trace import TraceRecorder
 
 from repro.fd.bank import make_detector_bank
 from repro.fd.detector import PushFailureDetector
@@ -41,11 +54,15 @@ class EndpointMonitor:
         detector_ids: Sequence[str],
         initial_timeout: float,
         log_capacity: int = 4096,
+        hub: Optional["ObservabilityHub"] = None,
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         if not name:
             raise ValueError("endpoint name must be non-empty")
         self.name = name
         self._scheduler: AsyncioScheduler = system.sim
+        self._hub = hub
+        self._tracer = tracer
         self.registered_at = self._scheduler.now
         self.event_log = BoundedEventLog(log_capacity)
         self.accumulators: Dict[str, OnlineQosAccumulator] = {
@@ -61,8 +78,9 @@ class EndpointMonitor:
             detector_ids,
             initial_timeout=initial_timeout,
             on_transition_factory=self._transition_hook,
+            tracer=tracer,
         )
-        self.multiplexer = MultiPlexer(list(self.detectors.values()))
+        self.multiplexer = MultiPlexer(list(self.detectors.values()), tracer=tracer)
         self.process = NekoProcess(
             system,  # type: ignore[arg-type]  # duck-typed system facade
             f"monitor[{name}]",
@@ -72,8 +90,11 @@ class EndpointMonitor:
         # Live counters.
         self.heartbeats = 0
         self.crashes = 0
+        self.inferred_restores = 0
         self._crashed = False
         self._closed = False
+        self._seq_high = -1  # highest heartbeat seq seen from this endpoint
+        self._crash_seq_high = -1  # value of _seq_high when the crash began
 
     # ------------------------------------------------------------------
     # Intake
@@ -83,6 +104,16 @@ class EndpointMonitor:
         if self._closed:
             return
         self.heartbeats += 1
+        if message.seq is not None:
+            if self._crashed and message.seq > self._crash_seq_high:
+                # Beating resumed but the restore datagram never arrived:
+                # infer it now, before the detectors see this heartbeat,
+                # so the accumulators order restore before the trust
+                # transitions it causes.
+                self.inferred_restores += 1
+                self.record_restore()
+            if message.seq > self._seq_high:
+                self._seq_high = message.seq
         self.process.receive_from_network(message)
 
     def record_crash(self) -> None:
@@ -95,18 +126,28 @@ class EndpointMonitor:
             return
         self._crashed = True
         self.crashes += 1
+        self._crash_seq_high = self._seq_high
         t = self._scheduler.now
         for accumulator in self.accumulators.values():
             accumulator.observe_crash(t)
+        if self._tracer is not None:
+            self._tracer.emit(t, "crash", self.name)
+        if self._hub is not None:
+            self._hub.on_crash(self.name, t)
 
     def record_restore(self) -> None:
-        """The endpoint announced its restoration now."""
+        """The endpoint announced its restoration now (or it was inferred
+        from heartbeat resumption — see the module docstring)."""
         if self._closed or not self._crashed:
             return
         self._crashed = False
         t = self._scheduler.now
         for accumulator in self.accumulators.values():
             accumulator.observe_restore(t)
+        if self._tracer is not None:
+            self._tracer.emit(t, "restore", self.name)
+        if self._hub is not None:
+            self._hub.on_restore(self.name, t)
 
     # ------------------------------------------------------------------
     # State
@@ -141,7 +182,12 @@ class EndpointMonitor:
         accumulator = self.accumulators[detector_id]
 
         def on_transition(suspecting: bool) -> None:
-            accumulator.observe_transition(suspecting, self._scheduler.now)
+            now = self._scheduler.now
+            accumulator.observe_transition(suspecting, now)
+            if self._hub is not None:
+                self._hub.on_detector_transition(
+                    self.name, detector_id, suspecting, now
+                )
 
         return on_transition
 
@@ -173,6 +219,8 @@ class EndpointRegistry:
         initial_timeout: float,
         log_capacity: int = 4096,
         max_endpoints: int = 10_000,
+        hub: Optional["ObservabilityHub"] = None,
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         self._system = system
         self._eta = eta
@@ -180,6 +228,8 @@ class EndpointRegistry:
         self._initial_timeout = initial_timeout
         self._log_capacity = log_capacity
         self._max_endpoints = max_endpoints
+        self._hub = hub
+        self._tracer = tracer
         self._endpoints: Dict[str, EndpointMonitor] = {}
 
     def add(self, name: str) -> EndpointMonitor:
@@ -198,8 +248,12 @@ class EndpointRegistry:
             detector_ids=self._detector_ids,
             initial_timeout=self._initial_timeout,
             log_capacity=self._log_capacity,
+            hub=self._hub,
+            tracer=self._tracer,
         )
         self._endpoints[name] = monitor
+        if self._hub is not None:
+            self._hub.on_endpoint_added(name)
         return monitor
 
     def remove(self, name: str) -> EndpointMonitor:
@@ -209,6 +263,8 @@ class EndpointRegistry:
         except KeyError:
             raise KeyError(f"endpoint {name!r} is not registered") from None
         monitor.close()
+        if self._hub is not None:
+            self._hub.on_endpoint_removed(name)
         return monitor
 
     def get(self, name: str) -> Optional[EndpointMonitor]:

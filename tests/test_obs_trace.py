@@ -1,0 +1,183 @@
+"""Unit and scenario tests for the heartbeat trace recorder.
+
+The recorder itself is exercised directly (ring bounds, JSONL output,
+rotation, self-measurement); the emission sites are exercised through
+the real simulator architecture so every suspect/trust transition and
+freshness arming shows up as span events with the right sequence
+numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.fd.combinations import make_strategy
+from repro.fd.detector import PushFailureDetector
+from repro.fd.heartbeat import Heartbeater
+from repro.fd.multiplexer import MultiPlexer
+from repro.fd.simcrash import SimCrash
+from repro.neko.layer import ProtocolStack
+from repro.neko.system import NekoSystem
+from repro.net.delay import ConstantDelay
+from repro.obs import TraceEvent, TraceRecorder
+
+pytestmark = pytest.mark.obs
+
+
+class TestTraceEvent:
+    def test_to_dict_includes_only_set_fields(self):
+        event = TraceEvent(t=1.5, kind="send", endpoint="q")
+        assert event.to_dict() == {"t": 1.5, "kind": "send", "endpoint": "q"}
+
+    def test_to_dict_full(self):
+        event = TraceEvent(
+            t=2.0, kind="freshness", endpoint="q", detector="Last+CI_med",
+            seq=7, delay=0.2, timeout=0.31, deadline=3.51,
+        )
+        record = event.to_dict()
+        assert record["detector"] == "Last+CI_med"
+        assert record["seq"] == 7
+        assert record["delay"] == 0.2
+        assert record["timeout"] == 0.31
+        assert record["deadline"] == 3.51
+
+    def test_slots(self):
+        event = TraceEvent(t=0.0, kind="send", endpoint="q")
+        with pytest.raises(AttributeError):
+            event.extra = 1
+
+
+class TestTraceRecorderRing:
+    def test_ring_is_bounded_and_counts_evictions(self):
+        recorder = TraceRecorder(ring_capacity=4)
+        for i in range(10):
+            recorder.emit(float(i), "send", "q", seq=i)
+        assert len(recorder) == 4
+        assert recorder.events_total == 10
+        assert recorder.evicted_total == 6
+        assert [e["seq"] for e in recorder.tail()] == [6, 7, 8, 9]
+
+    def test_tail_limit_returns_newest(self):
+        recorder = TraceRecorder(ring_capacity=16)
+        for i in range(8):
+            recorder.emit(float(i), "send", "q", seq=i)
+        assert [e["seq"] for e in recorder.tail(3)] == [5, 6, 7]
+        assert recorder.tail(0) == []
+        with pytest.raises(ValueError):
+            recorder.tail(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(ring_capacity=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(max_bytes=100)
+        with pytest.raises(ValueError):
+            TraceRecorder(backups=-1)
+
+
+class TestTraceRecorderFile:
+    def test_jsonl_lines_parse(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(str(path))
+        recorder.emit(0.0, "send", "q", seq=0)
+        recorder.emit(0.2, "receive", "q", seq=0, delay=0.2)
+        recorder.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0] == {"t": 0.0, "kind": "send", "endpoint": "q", "seq": 0}
+        assert records[1]["delay"] == 0.2
+        assert recorder.bytes_total == len(path.read_bytes())
+
+    def test_rotation_keeps_bounded_generations(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(str(path), max_bytes=4096, backups=2)
+        payload = "x" * 120
+        for i in range(200):
+            recorder.emit(float(i), "send", payload, seq=i)
+        recorder.close()
+        assert recorder.rotations_total >= 2
+        assert (tmp_path / "trace.jsonl.1").exists()
+        assert (tmp_path / "trace.jsonl.2").exists()
+        assert not (tmp_path / "trace.jsonl.3").exists()
+        # Every surviving generation is valid JSONL.
+        for name in ("trace.jsonl", "trace.jsonl.1", "trace.jsonl.2"):
+            for line in (tmp_path / name).read_text().splitlines():
+                json.loads(line)
+
+    def test_close_is_idempotent_and_emit_noops_after(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(str(path))
+        recorder.emit(0.0, "send", "q")
+        recorder.close()
+        recorder.close()
+        recorder.emit(1.0, "send", "q")
+        assert recorder.closed
+        assert recorder.events_total == 1
+
+    def test_stats_payload(self):
+        recorder = TraceRecorder(ring_capacity=8)
+        recorder.emit(0.0, "send", "q")
+        stats = recorder.stats()
+        assert stats["events_total"] == 1
+        assert stats["ring_size"] == 1
+        assert stats["ring_capacity"] == 8
+        assert stats["path"] is None
+        assert stats["overhead_seconds"] >= 0.0
+
+
+def _traced_scenario(sim, event_log, tracer, *, crash_schedule=()):
+    """Heartbeater -> SimCrash -> link -> MultiPlexer -> one detector,
+    with the tracer plugged into both monitor-side layers."""
+    system = NekoSystem(sim)
+    system.network.set_link("monitored", "monitor", ConstantDelay(0.2))
+    heartbeater = Heartbeater("monitor", 1.0, event_log)
+    simcrash = SimCrash(100.0, 10.0, None, event_log, schedule=list(crash_schedule))
+    system.create_process("monitored", ProtocolStack([heartbeater, simcrash]))
+    detector = PushFailureDetector(
+        make_strategy("Last", "CI_med"), "monitored", 1.0, event_log,
+        detector_id="fd", initial_timeout=5.0, tracer=tracer,
+    )
+    multiplexer = MultiPlexer([detector], event_log, tracer=tracer)
+    system.create_process("monitor", ProtocolStack([multiplexer]))
+    system.start()
+    return detector
+
+
+class TestDetectorEmission:
+    def test_steady_state_emits_fanout_and_freshness(self, sim, event_log):
+        tracer = TraceRecorder(ring_capacity=1024)
+        _traced_scenario(sim, event_log, tracer)
+        sim.run(until=10.0)
+        kinds = [e["kind"] for e in tracer.tail(1024)]
+        assert "fanout" in kinds and "freshness" in kinds
+        assert "suspect" not in kinds  # stable link, no mistakes
+        freshness = [e for e in tracer.tail(1024) if e["kind"] == "freshness"]
+        # Every fresh heartbeat arms a deadline beyond its arrival.
+        for e in freshness:
+            assert e["deadline"] > e["t"]
+            assert e["timeout"] > 0.0
+            assert e["detector"] == "fd"
+
+    def test_crash_produces_suspect_then_trust_with_matching_seq(
+        self, sim, event_log
+    ):
+        tracer = TraceRecorder(ring_capacity=4096)
+        detector = _traced_scenario(
+            sim, event_log, tracer, crash_schedule=[(10.5, 20.5)]
+        )
+        sim.run(until=40.0)
+        events = tracer.tail(4096)
+        suspects = [e for e in events if e["kind"] == "suspect"]
+        trusts = [e for e in events if e["kind"] == "trust"]
+        assert len(suspects) == 1 and len(trusts) == 1
+        assert suspects[0]["t"] < trusts[0]["t"]
+        # The suspicion froze at the last pre-crash heartbeat; trust came
+        # from the first post-restore one, a strictly higher sequence.
+        assert trusts[0]["seq"] > suspects[0]["seq"]
+        assert detector.highest_sequence >= trusts[0]["seq"]
+
+    def test_disabled_tracer_is_default(self, sim, event_log):
+        detector = _traced_scenario(sim, event_log, None)
+        sim.run(until=10.0)
+        assert detector.heartbeats_seen == 10

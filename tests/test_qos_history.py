@@ -1,0 +1,377 @@
+"""Windowed QoS store: unit behaviour and batch-equivalence property.
+
+The store's contract is that ``query(endpoint, detector, start, end)``
+equals batch :func:`repro.nekostat.metrics.extract_qos` over the same
+slice of the transition log, re-based so the window start is time zero
+(with the pre-window state closed into synthetic boundary events at the
+window start — crash first, then suspicion, matching the accumulator's
+documented tie-breaking).  The property test mirrors the streaming
+equivalence suite in ``tests/test_online_qos.py``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.nekostat.events import EventKind, StatEvent
+from repro.nekostat.log import EventLog
+from repro.nekostat.metrics import OnlineQosAccumulator, extract_qos
+from repro.obs import WindowedQosStore
+
+pytestmark = pytest.mark.obs
+
+DETECTOR = "fd"
+ENDPOINT = "ep"
+
+_EVENT_KINDS = {
+    "C": EventKind.CRASH,
+    "R": EventKind.RESTORE,
+    "S": EventKind.START_SUSPECT,
+    "T": EventKind.END_SUSPECT,
+}
+
+
+def _legalize(tokens):
+    """Drop tokens violating the two state machines (see test_online_qos)."""
+    crashed = False
+    suspecting = False
+    legal = []
+    for token in tokens:
+        if token == "C" and not crashed:
+            crashed = True
+        elif token == "R" and crashed:
+            crashed = False
+        elif token == "S" and not suspecting:
+            suspecting = True
+        elif token == "T" and suspecting:
+            suspecting = False
+        else:
+            continue
+        legal.append(token)
+    return legal
+
+
+def _record(store, sequence):
+    for token, t in sequence:
+        if token == "C":
+            store.record_crash(ENDPOINT, t)
+        elif token == "R":
+            store.record_restore(ENDPOINT, t)
+        elif token == "S":
+            store.record_suspect(ENDPOINT, DETECTOR, t)
+        else:
+            store.record_trust(ENDPOINT, DETECTOR, t)
+
+
+def _expected_window_qos(sequence, start, end):
+    """Ground truth: batch extract_qos over the re-based window slice.
+
+    The pre-window state becomes synthetic boundary events at relative
+    time zero — crash before suspect, the accumulator's tie order.
+    """
+    crashed = False
+    suspecting = False
+    for token, t in sequence:
+        if t > start:
+            break
+        if token == "C":
+            crashed = True
+        elif token == "R":
+            crashed = False
+        elif token == "S":
+            suspecting = True
+        elif token == "T":
+            suspecting = False
+    log = EventLog()
+    if crashed:
+        log.append(StatEvent(time=0.0, kind=EventKind.CRASH, site=ENDPOINT))
+    if suspecting:
+        log.append(
+            StatEvent(
+                time=0.0, kind=EventKind.START_SUSPECT,
+                site="monitor", detector=DETECTOR,
+            )
+        )
+    for token, t in sequence:
+        if not start < t <= end:
+            continue
+        kind = _EVENT_KINDS[token]
+        if token in ("S", "T"):
+            log.append(
+                StatEvent(
+                    time=t - start, kind=kind, site="monitor", detector=DETECTOR
+                )
+            )
+        else:
+            log.append(StatEvent(time=t - start, kind=kind, site=ENDPOINT))
+    return extract_qos(log, end_time=end - start, detectors=[DETECTOR])[DETECTOR]
+
+
+def _close(a, b):
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        return False
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def assert_window_equivalent(store, sequence, start, end):
+    window = store.query(ENDPOINT, DETECTOR, start, end)
+    batch = _expected_window_qos(sequence, start, end)
+    online = window.qos
+    # Window results carry absolute times; the batch slice is re-based.
+    assert [s for s in online.td_samples] == pytest.approx(
+        batch.td_samples, abs=1e-9
+    )
+    assert online.undetected_crashes == batch.undetected_crashes
+    assert [(m.start - start, m.end - start) for m in online.mistakes] == (
+        pytest.approx([(m.start, m.end) for m in batch.mistakes], abs=1e-9)
+    )
+    assert online.tmr_samples == pytest.approx(batch.tmr_samples, abs=1e-9)
+    assert _close(online.observation_time, batch.observation_time)
+    assert _close(online.up_time, batch.up_time)
+    assert _close(online.suspected_up_time, batch.suspected_up_time)
+    assert _close(online.p_a, batch.p_a)
+    assert _close(online.t_d_upper, batch.t_d_upper)
+    return window
+
+
+class TestRecording:
+    def test_transitions_are_buffered_then_flushed(self):
+        store = WindowedQosStore(flush_every=4)
+        store.record_suspect(ENDPOINT, DETECTOR, 1.0)
+        store.record_trust(ENDPOINT, DETECTOR, 2.0)
+        assert store.transitions_total == 2
+        assert store.flushes_total == 0
+        store.record_crash(ENDPOINT, 3.0)
+        store.record_restore(ENDPOINT, 4.0)  # fourth row triggers flush
+        assert store.flushes_total == 1
+        store.close()
+
+    def test_unknown_kind_rejected(self):
+        store = WindowedQosStore()
+        with pytest.raises(ValueError):
+            store.record_transition(ENDPOINT, DETECTOR, "explode", 1.0)
+        store.close()
+
+    def test_closed_store_ignores_records(self):
+        store = WindowedQosStore()
+        store.close()
+        store.record_suspect(ENDPOINT, DETECTOR, 1.0)
+        assert store.transitions_total == 0
+
+    def test_prune_drops_old_rows(self):
+        store = WindowedQosStore(retention=10.0)
+        store.record_suspect(ENDPOINT, DETECTOR, 1.0)
+        store.record_trust(ENDPOINT, DETECTOR, 2.0)
+        store.record_suspect(ENDPOINT, DETECTOR, 95.0)
+        removed = store.prune(100.0)
+        assert removed == 2
+        assert store.latest_time() == pytest.approx(95.0)
+        store.close()
+
+    def test_latest_time_empty(self):
+        store = WindowedQosStore()
+        assert store.latest_time() is None
+        store.close()
+
+    def test_snapshot_round_trip(self):
+        store = WindowedQosStore()
+        accumulator = OnlineQosAccumulator(DETECTOR)
+        accumulator.observe_crash(1.0)
+        accumulator.observe_suspect(2.0)
+        accumulator.observe_restore(3.0)
+        accumulator.observe_trust(4.0)
+        qos = accumulator.snapshot(5.0)
+        store.record_snapshot(ENDPOINT, DETECTOR, 5.0, qos)
+        [(t, restored)] = store.snapshots(ENDPOINT, DETECTOR)
+        assert t == pytest.approx(5.0)
+        assert restored.td_samples == pytest.approx(qos.td_samples)
+        assert restored.undetected_crashes == qos.undetected_crashes
+        assert restored.up_time == pytest.approx(qos.up_time)
+        assert restored.observation_time == pytest.approx(qos.observation_time)
+        store.close()
+
+
+class TestWindowSemantics:
+    """Hand-computed boundary cases for the window closure rules."""
+
+    def test_window_in_quiet_stretch_is_all_up(self):
+        store = WindowedQosStore()
+        _record(store, [("S", 1.0), ("T", 2.0)])
+        window = store.query(ENDPOINT, DETECTOR, 10.0, 20.0)
+        assert window.qos.up_time == pytest.approx(10.0)
+        assert window.qos.p_a == pytest.approx(1.0)
+        assert window.qos.mistakes == []
+        store.close()
+
+    def test_crash_before_window_measures_td_from_window_start(self):
+        # Crash at 5 precedes the window; suspicion at 6 falls inside:
+        # T_D is measured from the window start (the crash as this
+        # window saw it), not from the out-of-window true crash.
+        store = WindowedQosStore()
+        _record(store, [("C", 5.0), ("S", 6.0), ("R", 9.0), ("T", 9.5)])
+        sequence = [("C", 5.0), ("S", 6.0), ("R", 9.0), ("T", 9.5)]
+        window = assert_window_equivalent(store, sequence, 5.5, 12.0)
+        assert window.qos.td_samples == [pytest.approx(0.5)]
+        store.close()
+
+    def test_crash_and_suspicion_spanning_start_detect_instantly(self):
+        store = WindowedQosStore()
+        sequence = [("S", 4.0), ("C", 5.0), ("R", 9.0), ("T", 9.5)]
+        _record(store, sequence)
+        window = assert_window_equivalent(store, sequence, 6.0, 12.0)
+        assert window.qos.td_samples == [pytest.approx(0.0)]
+        assert window.qos.mistakes == []
+        store.close()
+
+    def test_event_exactly_at_start_belongs_to_state(self):
+        # t == start rows define the boundary state; the replay is (start, end].
+        store = WindowedQosStore()
+        sequence = [("C", 5.0), ("R", 7.0)]
+        _record(store, sequence)
+        window = assert_window_equivalent(store, sequence, 5.0, 10.0)
+        assert window.qos.undetected_crashes == 1
+        store.close()
+
+    def test_invalid_window_rejected(self):
+        store = WindowedQosStore()
+        with pytest.raises(ValueError):
+            store.query(ENDPOINT, DETECTOR, 5.0, 4.0)
+        store.close()
+
+    def test_query_many_filters(self):
+        store = WindowedQosStore()
+        store.record_suspect("a", "d1", 1.0)
+        store.record_suspect("a", "d2", 2.0)
+        store.record_suspect("b", "d1", 3.0)
+        everything = store.query_many(0.0, 10.0)
+        assert {(w.endpoint, w.detector) for w in everything} == {
+            ("a", "d1"), ("a", "d2"), ("b", "d1"),
+        }
+        only_a = store.query_many(0.0, 10.0, endpoint="a")
+        assert {(w.endpoint, w.detector) for w in only_a} == {
+            ("a", "d1"), ("a", "d2"),
+        }
+        only_d1 = store.query_many(0.0, 10.0, detector="d1")
+        assert {w.endpoint for w in only_d1} == {"a", "b"}
+        store.close()
+
+    def test_to_dict_payload(self):
+        store = WindowedQosStore()
+        _record(store, [("S", 1.0), ("T", 2.0)])
+        document = store.query(ENDPOINT, DETECTOR, 0.0, 5.0).to_dict()
+        assert document["endpoint"] == ENDPOINT
+        assert document["detector"] == DETECTOR
+        assert document["window_start"] == 0.0
+        assert document["window_end"] == 5.0
+        assert document["mistakes"] == 1
+        assert document["mistake_intervals"] == [[1.0, 2.0]]
+        store.close()
+
+    def test_file_store_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "qos.sqlite")
+        store = WindowedQosStore(path)
+        sequence = [("C", 2.0), ("S", 3.0), ("R", 6.0), ("T", 6.5)]
+        _record(store, sequence)
+        store.close()
+        reopened = WindowedQosStore(path)
+        window = assert_window_equivalent(reopened, sequence, 0.0, 10.0)
+        assert window.qos.td_samples == [pytest.approx(1.0)]
+        reopened.close()
+
+
+TOKEN = st.sampled_from(["S", "T", "C", "R"])
+GAP = st.integers(min_value=1, max_value=4)
+SCALE = st.sampled_from([0.25, 1.0, 7.3])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    tokens=st.lists(TOKEN, max_size=40),
+    gaps=st.lists(GAP, min_size=40, max_size=40),
+    scale=SCALE,
+    tail_gap=GAP,
+    fractions=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+)
+def test_window_query_equals_batch_extraction(
+    tokens, gaps, scale, tail_gap, fractions
+):
+    """The satellite equivalence property.
+
+    For any legal transition interleaving recorded into the store and
+    any window inside the recorded span, the windowed query equals batch
+    ``extract_qos`` over the re-based log slice.
+    """
+    legal = _legalize(tokens)
+    times = []
+    t = 0
+    for gap in gaps[: len(legal)]:
+        t += gap
+        times.append(t * scale)
+    sequence = list(zip(legal, times))
+    total = (t + tail_gap) * scale
+    start, end = sorted(fraction * total for fraction in fractions)
+    if end == start:
+        # Zero-width windows are degenerate: batch extraction over an
+        # empty observation manufactures zero-length crash intervals.
+        end = start + 0.5 * scale
+
+    store = WindowedQosStore()
+    try:
+        _record(store, sequence)
+        assert_window_equivalent(store, sequence, start, end)
+        # The full recorded span as a window equals the plain stream.
+        assert_window_equivalent(store, sequence, 0.0, total)
+    finally:
+        store.close()
+
+
+class TestQosHistoryCli:
+    def _populate(self, path):
+        store = WindowedQosStore(path)
+        _record(store, [("C", 2.0), ("S", 3.0), ("R", 6.0), ("T", 6.5)])
+        store.close()
+
+    def test_table_output(self, tmp_path, capsys):
+        path = str(tmp_path / "qos.sqlite")
+        self._populate(path)
+        exit_code = cli_main(["qos-history", "--db", path, "--window", "10"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert ENDPOINT in out and DETECTOR in out
+        assert "T_D ms" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "qos.sqlite")
+        self._populate(path)
+        exit_code = cli_main(
+            ["qos-history", "--db", path, "--window", "10", "--json"]
+        )
+        assert exit_code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 1
+        assert records[0]["endpoint"] == ENDPOINT
+        assert records[0]["detection_samples"] == 1
+
+    def test_missing_db_is_an_error(self, tmp_path, capsys):
+        exit_code = cli_main(
+            ["qos-history", "--db", str(tmp_path / "nope.sqlite")]
+        )
+        assert exit_code == 2
+        assert "no such history database" in capsys.readouterr().err
+
+    def test_empty_db_reports_empty(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.sqlite")
+        WindowedQosStore(path).close()
+        exit_code = cli_main(["qos-history", "--db", path])
+        assert exit_code == 0
+        assert "empty" in capsys.readouterr().out
