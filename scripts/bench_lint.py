@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Benchmark the ``repro lint`` analyzer over the repository.
+
+Two measurements:
+
+* **Full src walk** — wall time of ``lint_paths(["src"])`` with every
+  rule enabled, the exact work the tier-1 self-check
+  (``tests/test_lint_repo.py``) and CI pay on each run.  The contract
+  is that linting ``src/`` stays **under 5 seconds**, so the analyzer
+  never becomes the slow step of the suite.
+* **Single-file hot path** — per-file cost on the largest source file,
+  isolating parse + context build + rule walk from directory I/O.
+
+Results are appended to a JSON history file (default
+``BENCH_lint.json``), the same layout as ``scripts/bench_obs.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_lint.py \
+        [--repeats 3] [--output BENCH_lint.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.lint import DEFAULT_CONFIG, lint_paths  # noqa: E402
+from repro.lint.engine import (  # noqa: E402
+    discover_rules,
+    iter_python_files,
+    lint_file,
+)
+
+#: Contract asserted here and relied on by CI: linting src/ is cheap.
+FULL_SRC_BUDGET_S = 5.0
+
+
+def run_benchmark(repeats: int) -> dict:
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    files = iter_python_files([src])
+    largest = max(files, key=os.path.getsize)
+
+    discover_rules()  # warm the rule-module import cache
+
+    full_times = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = lint_paths([src], DEFAULT_CONFIG)
+        full_times.append(time.perf_counter() - started)
+
+    single_times = []
+    for _ in range(max(repeats * 5, 10)):
+        started = time.perf_counter()
+        lint_file(largest, DEFAULT_CONFIG)
+        single_times.append(time.perf_counter() - started)
+
+    best = min(full_times)
+    return {
+        "full_src": {
+            "files": result.files_scanned,
+            "rules": len(discover_rules()),
+            "findings": len(result.findings),
+            "suppressions": len(result.suppressions),
+            "best_s": round(best, 4),
+            "mean_s": round(sum(full_times) / len(full_times), 4),
+            "ms_per_file": round(best * 1000.0 / result.files_scanned, 3),
+            "budget_s": FULL_SRC_BUDGET_S,
+            "within_budget": best < FULL_SRC_BUDGET_S,
+        },
+        "single_file": {
+            "path": os.path.relpath(
+                largest, os.path.dirname(os.path.dirname(__file__))
+            ),
+            "bytes": os.path.getsize(largest),
+            "best_ms": round(min(single_times) * 1000.0, 3),
+        },
+    }
+
+
+def format_report(result: dict) -> str:
+    full = result["full_src"]
+    single = result["single_file"]
+    return "\n".join(
+        [
+            f"full src walk ({full['files']} files, "
+            f"{full['rules']} rules)",
+            f"  best                 : {full['best_s']:10.3f} s "
+            f"(budget {full['budget_s']:.1f} s)",
+            f"  per file             : {full['ms_per_file']:10.3f} ms",
+            f"  findings/suppressions: {full['findings']:6d} / "
+            f"{full['suppressions']}",
+            f"single file ({single['path']}, {single['bytes']} bytes)",
+            f"  best                 : {single['best_ms']:10.3f} ms",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_lint.json")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    result = run_benchmark(args.repeats)
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    result["python"] = platform.python_version()
+
+    history = []
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                history = json.load(handle)
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(result)
+    with open(args.output, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+    print(format_report(result))
+    if not result["full_src"]["within_budget"]:
+        print(
+            f"WARNING: full src lint took {result['full_src']['best_s']:.2f}s"
+            f" (contract is < {FULL_SRC_BUDGET_S:.1f}s)"
+        )
+    print(f"\nappended to {args.output} ({len(history)} run(s) recorded)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -229,6 +229,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     history.add_argument("--json", action="store_true",
                          help="print the raw JSON documents instead")
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(subparsers)
     return parser
 
 
@@ -384,6 +388,7 @@ async def _run_until(duration: float, stoppers) -> None:
 
     try:
         if duration > 0:
+            # fdlint: disable=clock-discipline (the serve commands run in real time; --duration is wall-clock by contract)
             await asyncio.sleep(duration)
         else:
             await asyncio.Event().wait()  # parked until cancelled
@@ -582,6 +587,15 @@ _COMMANDS = {
     "serve-heartbeat": _command_serve_heartbeat,
     "qos-history": _command_qos_history,
 }
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import command_lint
+
+    return command_lint(args)
+
+
+_COMMANDS["lint"] = _command_lint
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

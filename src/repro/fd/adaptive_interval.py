@@ -72,6 +72,7 @@ class AdaptiveHeartbeater(Heartbeater):
             return
         requested = float(message.payload)
         new_eta = min(self.max_eta, max(self.min_eta, requested))
+        # fdlint: disable=float-time-equality (change detection against the exact value assigned in _apply_interval, not an ordering test between computed times)
         if new_eta != self.eta:
             self._apply_interval(new_eta)
         self.send_down(message.reply("interval-ack", payload=new_eta))

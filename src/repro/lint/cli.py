@@ -1,0 +1,129 @@
+"""CLI glue for the ``repro lint`` subcommand.
+
+Exit codes follow the usual analyzer convention:
+
+* ``0`` — clean (no findings; justified suppressions are fine),
+* ``1`` — findings reported,
+* ``2`` — usage error (unknown rule id, missing path, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.config import DEFAULT_CONFIG
+from repro.lint.engine import (
+    known_rule_ids,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+
+def add_lint_parser(subparsers) -> None:
+    """Register the ``lint`` subcommand on the main CLI."""
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo's invariant-enforcing static analyzer",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule slugs/codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default="", metavar="RULES",
+        help="comma-separated rule slugs/codes to skip",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline JSON of accepted findings to tolerate",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+
+
+def _split(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def command_lint(args: argparse.Namespace) -> int:
+    """Entry point invoked by :func:`repro.cli.main`."""
+    select = _split(args.select)
+    ignore = _split(args.ignore) or []
+    known = set(known_rule_ids())
+    for spec in (select or []) + ignore:
+        if spec not in known:
+            print(f"error: unknown rule {spec!r} (known: "
+                  f"{', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    if args.write_baseline and args.baseline is None:
+        print("error: --write-baseline requires --baseline PATH",
+              file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"error: no such baseline: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result = lint_paths(
+        args.paths,
+        DEFAULT_CONFIG,
+        select=select,
+        ignore=ignore,
+        baseline=baseline,
+    )
+
+    if args.write_baseline:
+        count = write_baseline(args.baseline, result)
+        print(f"wrote {count} fingerprint(s) to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.clean else 1
+
+    for finding in result.findings:
+        print(finding.render())
+    summary = (
+        f"{len(result.findings)} finding(s) in "
+        f"{result.files_scanned} file(s)"
+    )
+    if result.suppressions:
+        summary += (
+            f", {len(result.suppressions)} justified suppression(s)"
+        )
+    if result.baselined:
+        summary += f", {result.baselined} baselined"
+    print(summary)
+    return 0 if result.clean else 1
+
+
+__all__ = ["add_lint_parser", "command_lint"]

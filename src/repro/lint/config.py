@@ -1,0 +1,116 @@
+"""The lint policy: which invariant applies where.
+
+The rules are repo-specific, so their scoping is too.  Rather than
+hard-coding paths inside each rule, the policy lives here as one
+:class:`LintConfig` with the repo's defaults (:data:`DEFAULT_CONFIG`).
+Real-network modules that legitimately read the wall clock are
+*whitelisted by config, not by silence*: the whitelist is a reviewable
+list in this file, and anything not on it needs an inline
+``# fdlint: disable=<rule>  (reason)`` pragma with a justification.
+
+Path matching is suffix-based on POSIX-normalised paths
+(``"repro/net/udp.py"`` matches ``/any/prefix/src/repro/net/udp.py``),
+and directory scoping is segment-based (``"service/"`` matches any path
+containing a ``service`` directory component), so the same policy works
+on checkouts, installed trees and the test fixture corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+def path_matches(rel_path: str, entries: Tuple[str, ...]) -> bool:
+    """Whether ``rel_path`` ends with any whitelist entry."""
+    normalized = rel_path.replace("\\", "/")
+    return any(
+        normalized == entry or normalized.endswith("/" + entry)
+        for entry in entries
+    )
+
+
+def in_dirs(rel_path: str, dirs: Tuple[str, ...]) -> bool:
+    """Whether ``rel_path`` contains any of ``dirs`` as a path segment."""
+    normalized = "/" + rel_path.replace("\\", "/")
+    return any("/" + d.strip("/") + "/" in normalized for d in dirs)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scoping policy consumed by the rules (see module docstring)."""
+
+    #: clock-discipline: files allowed to read the wall clock.  These
+    #: are the two real-network anchors — the UDP wall-clock scheduler
+    #: and the asyncio scheduler that maps loop time onto the epoch.
+    #: Everything else must take time from a Scheduler surface (or carry
+    #: a justified pragma).
+    clock_allowed_files: Tuple[str, ...] = (
+        "repro/net/udp.py",
+        "repro/service/runtime.py",
+    )
+
+    #: seeded-randomness: files allowed to construct generators from
+    #: module-level numpy/stdlib randomness.  ``sim/random.py`` *is* the
+    #: seed-derivation root every simulation RNG flows from; the live
+    #: heartbeat fleet draws OS entropy for real-network crash phases.
+    random_allowed_files: Tuple[str, ...] = (
+        "repro/sim/random.py",
+        "repro/service/heartbeat.py",
+    )
+
+    #: async-blocking: directories whose ``async def`` bodies are
+    #: scanned for lexically blocking calls.
+    async_dirs: Tuple[str, ...] = ("service/", "obs/")
+
+    #: async-blocking: event-loop-resident modules whose *synchronous*
+    #: methods also run on the loop (timer callbacks, datagram handlers)
+    #: and are therefore scanned in full, not just their async defs.
+    loop_resident_files: Tuple[str, ...] = (
+        "repro/obs/trace.py",
+        "repro/obs/history.py",
+    )
+
+    #: async-blocking: receiver names whose ``.write()`` is the buffered
+    #: asyncio-stream write (non-blocking; back-pressure via ``drain``).
+    asyncio_safe_receivers: Tuple[str, ...] = ("writer", "transport")
+
+    #: lock-discipline: directories whose classes are checked for
+    #: attributes mutated both inside and outside ``with self._lock:``.
+    lock_dirs: Tuple[str, ...] = ("obs/", "service/")
+
+    #: mutable-shared-state: directories whose *class-level* mutable
+    #: attributes are flagged (detector/predictor banks must keep the
+    #: thirty instances independent).
+    mutable_class_dirs: Tuple[str, ...] = ("fd/", "timeseries/")
+
+    #: float-time-equality: identifier fragments that mark an
+    #: expression as time-valued, and exact short names likewise.
+    time_name_fragments: Tuple[str, ...] = (
+        "time",
+        "deadline",
+        "timeout",
+        "delay",
+        "duration",
+        "elapsed",
+    )
+    time_exact_names: Tuple[str, ...] = (
+        "t",
+        "t0",
+        "t1",
+        "now",
+        "when",
+        "tau",
+        "eta",
+        "mttc",
+        "ttr",
+    )
+
+    #: Extra per-run suppressions (rule ids) applied before reporting.
+    ignore: Tuple[str, ...] = field(default=())
+
+
+#: The repo's policy, used by ``repro lint`` and the tier-1 self-check.
+DEFAULT_CONFIG = LintConfig()
+
+__all__ = ["DEFAULT_CONFIG", "LintConfig", "in_dirs", "path_matches"]

@@ -1,0 +1,169 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`FileContext` wraps a parsed module with the bookkeeping the
+rules need but :mod:`ast` does not provide: a child-to-parent map,
+import-alias resolution (so ``from time import perf_counter as pc``
+still resolves ``pc()`` to ``time.perf_counter``), enclosing-scope
+lookups, and the pragma table.  Building it once per file keeps each
+rule a small, single-purpose visitor.
+
+Because the analysis is AST-based, docstrings and comments are never
+confused with code: a prose mention of ``time.time()`` is a string
+constant, not a :class:`ast.Call`, so it cannot trigger a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.pragmas import Pragma, parse_pragmas
+
+#: Node types whose header-line pragma covers their whole lexical body.
+_BLOCK_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.With)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+    ) -> None:
+        self.path = path
+        self.rel_path = path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.aliases = self._collect_aliases(tree)
+        self.pragmas: Dict[int, Pragma] = parse_pragmas(source)
+        self._block_headers: Optional[Dict[int, Set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+        aliases: Dict[str, str] = {"np": "numpy"}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    aliases[name.asname or name.name.split(".")[0]] = name.name
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    aliases[name.asname or name.name] = (
+                        f"{module}.{name.name}" if module else name.name
+                    )
+        return aliases
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully-qualified dotted name of an expression, alias-expanded."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        expanded = self.aliases.get(head, head)
+        return f"{expanded}.{rest}" if rest else expanded
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Alias-expanded dotted name of a call's target."""
+        return self.resolve(call.func)
+
+    # ------------------------------------------------------------------
+    # Scope lookups
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node``, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Innermost enclosing function/lambda definition, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        """Innermost enclosing class definition, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def in_async_function(self, node: ast.AST) -> bool:
+        """Whether the *innermost* enclosing function is ``async def``."""
+        return isinstance(self.enclosing_function(node), ast.AsyncFunctionDef)
+
+    # ------------------------------------------------------------------
+    # Suppression
+    # ------------------------------------------------------------------
+    def _headers(self) -> Dict[int, Set[int]]:
+        if self._block_headers is None:
+            headers: Dict[int, Set[int]] = {}
+            for node in ast.walk(self.tree):
+                if not isinstance(node, _BLOCK_NODES):
+                    continue
+                end = getattr(node, "end_lineno", None) or node.lineno
+                for line in range(node.lineno, end + 1):
+                    headers.setdefault(line, set()).add(node.lineno)
+            self._block_headers = headers
+        return self._block_headers
+
+    def pragma_for(self, line: int, rule: str, code: str) -> Optional[Pragma]:
+        """The pragma suppressing ``rule`` at ``line``, if any.
+
+        Checks the line itself, an own-line pragma directly above, and
+        the header lines of every enclosing def/class/with block.
+        """
+        candidates = [line]
+        candidates.extend(sorted(self._headers().get(line, ()), reverse=True))
+        for candidate in candidates:
+            pragma = self.pragmas.get(candidate)
+            if pragma is not None and pragma.covers(rule, code):
+                return pragma
+            above = self.pragmas.get(candidate - 1)
+            if (
+                above is not None
+                and above.own_line
+                and above.covers(rule, code)
+            ):
+                return above
+        return None
+
+
+__all__ = ["FileContext", "dotted_name"]

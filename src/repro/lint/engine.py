@@ -1,0 +1,282 @@
+"""The analyzer core: rule discovery, the per-file walk, baselines.
+
+Rules are discovered from :mod:`repro.lint.rules` by package scan —
+any submodule exposing a ``RULES`` list contributes; deleting a rule
+module genuinely removes its check (the fixture tests assert this).
+For each file the engine parses once, builds one
+:class:`~repro.lint.context.FileContext`, runs every selected rule, and
+then applies the suppression protocol:
+
+* a finding covered by a *justified* ``# fdlint: disable=`` pragma is
+  recorded as a :class:`~repro.lint.findings.Suppression`;
+* a pragma **without** a written justification suppresses nothing and
+  additionally raises the ``unjustified-suppression`` (FDL000)
+  meta-finding, so the repo cannot be "clean" by silent fiat.
+
+A baseline file (``--baseline``) holds fingerprints of known findings
+to tolerate during incremental adoption; fingerprints are
+``path::rule::line``, so baselines are tied to the invocation paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import json
+import os
+import pkgutil
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint import rules as rules_package
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Suppression
+
+#: Meta-rule identity for pragmas lacking a justification.
+UNJUSTIFIED_RULE = "unjustified-suppression"
+UNJUSTIFIED_CODE = "FDL000"
+
+#: JSON schema version of ``--format json`` and baseline files.
+SCHEMA_VERSION = 1
+
+
+def discover_rules() -> Dict[str, object]:
+    """Import every rule module and collect rules keyed by slug."""
+    discovered: Dict[str, object] = {}
+    for info in pkgutil.iter_modules(rules_package.__path__):
+        module = importlib.import_module(
+            f"{rules_package.__name__}.{info.name}"
+        )
+        for rule in getattr(module, "RULES", ()):
+            discovered[rule.rule] = rule
+    return dict(sorted(discovered.items()))
+
+
+def known_rule_ids() -> List[str]:
+    """Selectable identities: every slug and code, plus the meta-rule."""
+    ids: List[str] = [UNJUSTIFIED_RULE, UNJUSTIFIED_CODE]
+    for rule in discover_rules().values():
+        ids.extend([rule.rule, rule.code])
+    return ids
+
+
+@dataclass
+class LintResult:
+    """The outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    files_scanned: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No findings survived suppression and baselining."""
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``--format json`` document."""
+        return {
+            "version": SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressions": [
+                {
+                    "path": s.path,
+                    "line": s.line,
+                    "rules": list(s.rules),
+                    "justification": s.justification,
+                    "suppressed": len(s.suppressed),
+                }
+                for s in self.suppressions
+            ],
+            "baselined": self.baselined,
+            "counts": self._counts(),
+        }
+
+    def _counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def _selected(
+    rule: object,
+    select: Optional[Sequence[str]],
+    ignore: Sequence[str],
+) -> bool:
+    identities = {rule.rule, rule.code}
+    if select is not None and not (identities & set(select)):
+        return False
+    return not (identities & set(ignore))
+
+
+def lint_file(
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Sequence[str] = (),
+    source: Optional[str] = None,
+) -> LintResult:
+    """Analyze one file; see :func:`lint_paths` for the directory walk."""
+    result = LintResult(files_scanned=1)
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="syntax-error",
+                code="FDL999",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result
+    ctx = FileContext(path, source, tree, config)
+    ignore = tuple(ignore) + tuple(config.ignore)
+    raw: List[Finding] = []
+    for rule in discover_rules().values():
+        if _selected(rule, select, ignore):
+            raw.extend(rule.check(ctx))
+
+    by_pragma: Dict[int, List[Finding]] = {}
+    for finding in sorted(raw):
+        pragma = ctx.pragma_for(finding.line, finding.rule, finding.code)
+        if pragma is None:
+            result.findings.append(finding)
+        elif not pragma.justified:
+            result.findings.append(finding)
+            by_pragma.setdefault(pragma.line, [])
+        else:
+            by_pragma.setdefault(pragma.line, []).append(finding)
+    for line, suppressed in sorted(by_pragma.items()):
+        pragma = ctx.pragmas[line]
+        suppression = Suppression(
+            path=path,
+            line=line,
+            rules=pragma.rules,
+            justification=pragma.justification,
+            suppressed=tuple(suppressed),
+        )
+        if not suppression.justified:
+            result.findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=1,
+                    rule=UNJUSTIFIED_RULE,
+                    code=UNJUSTIFIED_CODE,
+                    severity="error",
+                    message="fdlint pragma without a written "
+                    "justification suppresses nothing",
+                    hint="append the reason in parentheses: "
+                    "# fdlint: disable=<rule>  (why this is sound)",
+                )
+            )
+        else:
+            result.suppressions.append(suppression)
+    result.findings.sort()
+    return result
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            collected.append(path)
+        else:
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git")
+                )
+                collected.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+    return collected
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: LintConfig = DEFAULT_CONFIG,
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Sequence[str] = (),
+    baseline: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Analyze every ``.py`` file under ``paths``.
+
+    ``baseline`` is an iterable of fingerprints to drop from the
+    result (counted in :attr:`LintResult.baselined`).
+    """
+    total = LintResult()
+    for path in iter_python_files(paths):
+        partial = lint_file(path, config, select=select, ignore=ignore)
+        total.findings.extend(partial.findings)
+        total.suppressions.extend(partial.suppressions)
+        total.files_scanned += partial.files_scanned
+    if baseline:
+        known = set(baseline)
+        kept = [
+            f for f in total.findings if f.fingerprint() not in known
+        ]
+        total.baselined = len(total.findings) - len(kept)
+        total.findings = kept
+    total.findings.sort()
+    return total
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> List[str]:
+    """Fingerprints from a baseline JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != SCHEMA_VERSION
+        or not isinstance(document.get("fingerprints"), list)
+    ):
+        raise ValueError(f"{path} is not a fdlint baseline file")
+    return [str(fp) for fp in document["fingerprints"]]
+
+
+def write_baseline(path: str, result: LintResult) -> int:
+    """Record the result's findings as the accepted baseline."""
+    fingerprints = sorted({f.fingerprint() for f in result.findings})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"version": SCHEMA_VERSION, "fingerprints": fingerprints},
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    return len(fingerprints)
+
+
+__all__ = [
+    "LintResult",
+    "SCHEMA_VERSION",
+    "UNJUSTIFIED_CODE",
+    "UNJUSTIFIED_RULE",
+    "discover_rules",
+    "iter_python_files",
+    "known_rule_ids",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,11 @@
+"""The pluggable rule corpus.
+
+Every module in this package that exposes a module-level ``RULES`` list
+is auto-discovered by :func:`repro.lint.engine.discover_rules`; adding a
+rule is adding a file, and deleting a rule module genuinely removes the
+check (the fixture tests assert each rule is load-bearing).
+"""
+
+from repro.lint.rules.base import LintRule
+
+__all__ = ["LintRule"]

@@ -1,0 +1,142 @@
+"""async-blocking (FDL003): the event loop never blocks on I/O.
+
+The live service is a single-threaded asyncio daemon; one synchronous
+sqlite ``execute``, file ``write``/``flush`` or socket ``recv`` inside
+it stalls *every* endpoint's detector timers and skews T_D for the
+whole fleet.  The rule flags lexically blocking calls
+
+* inside ``async def`` bodies anywhere under the configured
+  :data:`~repro.lint.config.LintConfig.async_dirs`, and
+* anywhere in the configured *loop-resident* modules
+  (:data:`~repro.lint.config.LintConfig.loop_resident_files`) — sync
+  code such as timer callbacks and datagram handlers that still runs on
+  the loop.
+
+Not flagged: ``await``-ed calls (coroutines, by definition non-blocking
+at the call site), calls inside ``lambda`` bodies (the executor-offload
+idiom ships the work off-loop), and ``.write()`` on asyncio stream
+receivers (buffered, back-pressured via ``drain`` — see
+``asyncio_safe_receivers``).  Anything that must stay — a bounded,
+measured choke point — carries a pragma whose justification cites the
+latency bound (see ``BENCH_obs.json``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import in_dirs, path_matches
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import LintRule
+
+#: Method names that block regardless of receiver.
+BLOCKING_METHODS = frozenset(
+    {
+        "execute",
+        "executemany",
+        "executescript",
+        "commit",
+        "flush",
+        "fsync",
+        "recv",
+        "recvfrom",
+        "recv_into",
+        "accept",
+        "sendall",
+        "makefile",
+        "getaddrinfo",
+    }
+)
+
+#: Method names that block unless the receiver is an asyncio stream.
+WRITE_METHODS = frozenset({"write", "writelines"})
+
+#: Fully-qualified blocking callables.
+BLOCKING_CALLS = frozenset(
+    {
+        "open",
+        "time.sleep",
+        "os.remove",
+        "os.replace",
+        "os.rename",
+        "os.fsync",
+        "os.system",
+        "shutil.copy",
+        "shutil.move",
+        "socket.create_connection",
+    }
+)
+
+
+class AsyncBlockingRule(LintRule):
+    rule = "async-blocking"
+    code = "FDL003"
+    invariant = (
+        "service liveness: nothing on the event loop performs unbounded "
+        "blocking I/O, so detector timers fire on time fleet-wide"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        loop_resident = path_matches(
+            ctx.rel_path, ctx.config.loop_resident_files
+        )
+        scan_async = loop_resident or in_dirs(
+            ctx.rel_path, ctx.config.async_dirs
+        )
+        if not scan_async:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not loop_resident and not ctx.in_async_function(node):
+                continue
+            if isinstance(ctx.enclosing_function(node), ast.Lambda):
+                continue  # executor-offload idiom runs off-loop
+            if isinstance(ctx.parent(node), ast.Await):
+                continue  # awaited coroutine, not a blocking call
+            reason = self._blocking_reason(ctx, node)
+            if reason is not None:
+                yield self.make(
+                    ctx,
+                    node,
+                    f"blocking call {reason} on the event loop",
+                    hint="offload via loop.run_in_executor / "
+                    "asyncio.to_thread, batch it behind a bounded choke "
+                    "point, or pragma it with the measured latency bound",
+                )
+
+    def _blocking_reason(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Optional[str]:
+        name = ctx.resolve_call(node)
+        if name is None:
+            return None
+        if name in BLOCKING_CALLS or name.startswith("subprocess."):
+            return f"{name}()"
+        if "." not in name:
+            return None
+        receiver, _, method = name.rpartition(".")
+        if receiver in ("self", "cls"):
+            # Intra-class delegation: the blocking leaf (the method's
+            # own body) is scanned and pragma'd where the I/O happens.
+            return None
+        if method in BLOCKING_METHODS:
+            return f".{method}() (on {receiver})"
+        if method in WRITE_METHODS:
+            base = receiver.rsplit(".", 1)[-1]
+            if base not in ctx.config.asyncio_safe_receivers:
+                return f".{method}() (on {receiver})"
+        return None
+
+
+RULES = [AsyncBlockingRule()]
+
+__all__ = [
+    "AsyncBlockingRule",
+    "BLOCKING_CALLS",
+    "BLOCKING_METHODS",
+    "RULES",
+    "WRITE_METHODS",
+]

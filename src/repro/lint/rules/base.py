@@ -1,0 +1,50 @@
+"""Shared rule shape (not itself a rule module — no ``RULES`` here).
+
+A rule is anything with ``rule`` (slug), ``code`` (``FDLnnn``),
+``severity``, a one-line ``invariant`` and a ``check(ctx)`` generator;
+:class:`LintRule` provides the finding constructor so concrete rules
+stay focused on their AST walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+
+class LintRule:
+    """Base class for concrete rules (see module docstring)."""
+
+    rule: str = ""
+    code: str = ""
+    severity: str = "error"
+    #: One-line statement of the invariant the rule protects (docs/CLI).
+    invariant: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def make(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """A finding of this rule anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule,
+            code=self.code,
+            severity=self.severity,
+            message=message,
+            hint=hint,
+        )
+
+
+__all__ = ["LintRule"]

@@ -1,0 +1,78 @@
+"""clock-discipline (FDL001): time flows through the Scheduler surface.
+
+The Neko promise — one detector stack, unchanged, on simulated or real
+networks — only holds if no layer reads the wall clock directly: in
+simulation ``time.time()`` is meaningless, and a stray ``time.sleep``
+stalls the event loop.  Every timestamp must come from the scheduling
+surface (``sim.now`` / ``scheduler.now``) and every delay from
+``schedule()``.  The two real-network anchors that *define* that
+surface (``net/udp.py``, ``service/runtime.py``) are whitelisted by
+config — :data:`repro.lint.config.LintConfig.clock_allowed_files` —
+not by silence.
+
+Docstrings and comments that merely mention ``time.time()`` are string
+constants / non-code to the AST walk and are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import path_matches
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import LintRule
+
+#: Fully-qualified callables that read or burn wall-clock time.
+FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.thread_time",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "asyncio.sleep",
+    }
+)
+
+
+class ClockDisciplineRule(LintRule):
+    rule = "clock-discipline"
+    code = "FDL001"
+    invariant = (
+        "sim/real transparency: time is read and spent only through the "
+        "Scheduler surface, so the same stack runs on both networks"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if path_matches(ctx.rel_path, ctx.config.clock_allowed_files):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call(node)
+            if name in FORBIDDEN_CALLS:
+                yield self.make(
+                    ctx,
+                    node,
+                    f"wall-clock call {name}() outside the scheduler "
+                    f"surface",
+                    hint="take `now` from the injected scheduler "
+                    "(sim.now / scheduler.now) or schedule() the delay; "
+                    "real-network modules belong on "
+                    "clock_allowed_files in repro/lint/config.py",
+                )
+
+
+RULES = [ClockDisciplineRule()]
+
+__all__ = ["ClockDisciplineRule", "FORBIDDEN_CALLS", "RULES"]

@@ -1,0 +1,149 @@
+"""lock-discipline (FDL004): lock-guarded attributes stay guarded.
+
+The observability layer sits on a thread boundary (a TraceRecorder or
+exporter may be drained by an HTTP handler while a timer callback
+appends), and the sharded-service roadmap adds real worker threads.  A
+class that guards an attribute with ``with self._lock:`` in one method
+but mutates the same attribute bare in another has a race by
+construction — the lock protects nothing.  This is a lightweight,
+purely lexical race detector: for every class (in the configured
+``lock_dirs``) that takes a ``self.*lock*`` context at least once, any
+attribute mutated both inside and outside guarded blocks is flagged at
+each unguarded site.  ``__init__`` is exempt (construction
+happens-before publication).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import in_dirs
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.rules.base import LintRule
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    name = dotted_name(item.context_expr)
+    return name is not None and name.startswith("self.") and "lock" in (
+        name.rsplit(".", 1)[1].lower()
+    )
+
+
+def _mutated_attr(node: ast.AST) -> Optional[str]:
+    """The ``self.X`` attribute this statement mutates, if any."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets = [node.target]
+    elif isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "self" and parts[2] in MUTATOR_METHODS:
+            return parts[1]
+        return None
+    for target in targets:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        name = dotted_name(target)
+        if name is not None:
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] == "self":
+                return parts[1]
+    return None
+
+
+class LockDisciplineRule(LintRule):
+    rule = "lock-discipline"
+    code = "FDL004"
+    invariant = (
+        "thread-boundary safety: an attribute the class guards with "
+        "`with self._lock:` is never mutated without the lock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not in_dirs(ctx.rel_path, ctx.config.lock_dirs):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded: Dict[str, List[ast.AST]] = {}
+        unguarded: Dict[str, List[ast.AST]] = {}
+        saw_lock = False
+        for method in cls.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            in_init = method.name == "__init__"
+            for node, inside in self._walk_with_lock_state(method, False):
+                if inside:
+                    saw_lock = True
+                attr = _mutated_attr(node)
+                if attr is None or in_init:
+                    continue
+                (guarded if inside else unguarded).setdefault(
+                    attr, []
+                ).append(node)
+        if not saw_lock:
+            return
+        for attr in sorted(set(guarded) & set(unguarded)):
+            for node in unguarded[attr]:
+                yield self.make(
+                    ctx,
+                    node,
+                    f"self.{attr} is mutated here without the lock but "
+                    f"under `with self._lock:` elsewhere in "
+                    f"{cls.name}",
+                    hint="take the lock around this mutation (or move "
+                    "the attribute out of the locked invariant)",
+                )
+
+    def _walk_with_lock_state(
+        self, node: ast.AST, inside: bool
+    ) -> Iterator[Tuple[ast.AST, bool]]:
+        for child in ast.iter_child_nodes(node):
+            child_inside = inside
+            if isinstance(child, ast.With) and any(
+                _is_lock_context(item) for item in child.items
+            ):
+                child_inside = True
+            yield child, child_inside
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue  # nested defs have their own discipline
+            yield from self._walk_with_lock_state(child, child_inside)
+
+
+RULES = [LockDisciplineRule()]
+
+__all__ = ["LockDisciplineRule", "MUTATOR_METHODS", "RULES"]

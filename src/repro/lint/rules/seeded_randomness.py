@@ -1,0 +1,69 @@
+"""seeded-randomness (FDL002): RNGs are injected, never ambient.
+
+Campaigns are bit-reproducible because every random draw flows from
+:class:`repro.sim.random.RandomStreams` — one seeded
+:class:`numpy.random.Generator` per named stream.  A call into the
+module-level ``random.*`` / ``numpy.random.*`` state (or an unseeded
+``default_rng()``) silently re-introduces nondeterminism, so any such
+call in simulation-reachable code is flagged.  Constructing generator
+*machinery* with explicit entropy (``SeedSequence``, ``Generator``,
+bit generators) is allowed everywhere; the stream root
+(``sim/random.py``) and the real-network crash injector are whitelisted
+via :data:`repro.lint.config.LintConfig.random_allowed_files`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import path_matches
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import LintRule
+
+#: Terminal attributes allowed under numpy.random: deterministic
+#: machinery that still requires explicit entropy at the call site.
+ALLOWED_TERMINALS = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM",
+     "Philox", "MT19937", "SFC64"}
+)
+
+
+class SeededRandomnessRule(LintRule):
+    rule = "seeded-randomness"
+    code = "FDL002"
+    invariant = (
+        "campaign reproducibility: all randomness derives from injected, "
+        "seeded generators (RandomStreams), never module-level state"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if path_matches(ctx.rel_path, ctx.config.random_allowed_files):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call(node)
+            if name is None:
+                continue
+            if name.startswith("numpy.random."):
+                terminal = name.rsplit(".", 1)[1]
+                if terminal in ALLOWED_TERMINALS:
+                    continue
+            elif not (name.startswith("random.") or name == "random"):
+                continue
+            yield self.make(
+                ctx,
+                node,
+                f"module-level randomness {name}() in "
+                f"simulation-reachable code",
+                hint="accept an injected numpy.random.Generator (one "
+                "RandomStreams stream per consumer) instead of the "
+                "ambient module state",
+            )
+
+
+RULES = [SeededRandomnessRule()]
+
+__all__ = ["ALLOWED_TERMINALS", "RULES", "SeededRandomnessRule"]

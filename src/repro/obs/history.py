@@ -178,6 +178,7 @@ class WindowedQosStore:
         self.retention = float(retention)
         self.flush_every = int(flush_every)
         self._connection = sqlite3.connect(path)
+        # fdlint: disable=async-blocking (one-time schema DDL at store construction, before the daemon serves)
         self._connection.executescript(_SCHEMA)
         self._pending: List[Tuple[str, str, str, float]] = []
         self._last_time = float("-inf")
@@ -187,6 +188,28 @@ class WindowedQosStore:
         self.snapshots_total = 0
         self.flushes_total = 0
         self.pruned_rows_total = 0
+
+    # ------------------------------------------------------------------
+    # The sqlite choke points
+    # ------------------------------------------------------------------
+    # All SQL flows through the two helpers below so the store has
+    # exactly two blocking call sites, each with a measured bound
+    # (BENCH_obs.json: batched inserts ~400k rows/s, window queries
+    # ~47 ms per 25k replayed rows at the default 30 s snapshot cadence)
+    # instead of a dozen scattered ones.  An executor offload would add
+    # cross-thread hand-off for work that is already microseconds.
+
+    # fdlint: disable=async-blocking (bounded choke point: ~400k rows/s inserts, ~47ms worst-case window query; measured in BENCH_obs.json)
+    def _sql(self, statement: str, parameters=(), *, many: bool = False):
+        """Execute one statement (the store's only query/DML site)."""
+        if many:
+            return self._connection.executemany(statement, parameters)
+        return self._connection.execute(statement, parameters)
+
+    def _commit(self) -> None:
+        """Commit the current transaction (the only commit site)."""
+        # fdlint: disable=async-blocking (commits batch flush_every=256 transition rows; sub-ms on a local file, measured in BENCH_obs.json)
+        self._connection.commit()
 
     # ------------------------------------------------------------------
     # Recording
@@ -236,7 +259,7 @@ class WindowedQosStore:
         """Persist one cumulative accumulator snapshot."""
         if self._closed:
             return
-        self._connection.execute(
+        self._sql(
             "INSERT INTO snapshots (endpoint, detector, t, qos) "
             "VALUES (?, ?, ?, ?)",
             (endpoint, detector, float(t), json.dumps(_qos_to_dict(qos))),
@@ -248,14 +271,15 @@ class WindowedQosStore:
     def flush(self) -> None:
         """Commit buffered transition rows."""
         if self._pending:
-            self._connection.executemany(
+            self._sql(
                 "INSERT INTO transitions (endpoint, detector, kind, t) "
                 "VALUES (?, ?, ?, ?)",
                 self._pending,
+                many=True,
             )
             self._pending.clear()
             self.flushes_total += 1
-        self._connection.commit()
+        self._commit()
 
     def prune(self, now: Optional[float] = None) -> int:
         """Delete rows older than the retention horizon; returns count.
@@ -269,11 +293,11 @@ class WindowedQosStore:
         horizon = reference - self.retention
         removed = 0
         for table in ("transitions", "snapshots"):
-            cursor = self._connection.execute(
+            cursor = self._sql(
                 f"DELETE FROM {table} WHERE t < ?", (horizon,)
             )
             removed += cursor.rowcount
-        self._connection.commit()
+        self._commit()
         self.pruned_rows_total += removed
         return removed
 
@@ -283,7 +307,7 @@ class WindowedQosStore:
     def endpoints(self) -> List[str]:
         """Distinct endpoints with any recorded history, sorted."""
         self.flush()
-        rows = self._connection.execute(
+        rows = self._sql(
             "SELECT DISTINCT endpoint FROM transitions "
             "UNION SELECT DISTINCT endpoint FROM snapshots"
         ).fetchall()
@@ -296,7 +320,7 @@ class WindowedQosStore:
         window without knowing the recording scheduler's clock.
         """
         self.flush()
-        row = self._connection.execute(
+        row = self._sql(
             "SELECT MAX(t) FROM ("
             "SELECT t FROM transitions UNION ALL SELECT t FROM snapshots)"
         ).fetchone()
@@ -305,7 +329,7 @@ class WindowedQosStore:
     def detectors(self, endpoint: str) -> List[str]:
         """Distinct detector ids recorded for ``endpoint``, sorted."""
         self.flush()
-        rows = self._connection.execute(
+        rows = self._sql(
             "SELECT DISTINCT detector FROM transitions "
             "WHERE endpoint = ? AND detector != '' "
             "UNION SELECT DISTINCT detector FROM snapshots "
@@ -318,14 +342,14 @@ class WindowedQosStore:
         self, endpoint: str, detector: str, t: float
     ) -> Tuple[bool, bool]:
         """(crashed, suspecting) state at instant ``t`` (inclusive)."""
-        row = self._connection.execute(
+        row = self._sql(
             "SELECT kind FROM transitions "
             "WHERE endpoint = ? AND detector = '' AND t <= ? "
             "ORDER BY t DESC, rowid DESC LIMIT 1",
             (endpoint, t),
         ).fetchone()
         crashed = row is not None and row[0] == "crash"
-        row = self._connection.execute(
+        row = self._sql(
             "SELECT kind FROM transitions "
             "WHERE endpoint = ? AND detector = ? AND t <= ? "
             "ORDER BY t DESC, rowid DESC LIMIT 1",
@@ -348,7 +372,7 @@ class WindowedQosStore:
             )
         self.flush()
         crashed, suspecting = self._state_at(endpoint, detector, start)
-        rows = self._connection.execute(
+        rows = self._sql(
             "SELECT kind, t FROM transitions "
             "WHERE endpoint = ? AND (detector = ? OR detector = '') "
             "AND t > ? AND t <= ? ORDER BY t, rowid",
@@ -408,7 +432,7 @@ class WindowedQosStore:
     ) -> List[Tuple[float, DetectorQos]]:
         """Persisted cumulative snapshots in ``[start, end]``, by time."""
         self.flush()
-        rows = self._connection.execute(
+        rows = self._sql(
             "SELECT t, qos FROM snapshots "
             "WHERE endpoint = ? AND detector = ? AND t >= ? AND t <= ? "
             "ORDER BY t, rowid",

@@ -328,6 +328,7 @@ class HeartbeatFleet:
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+        # fdlint: disable=clock-discipline (zero-delay event-loop yield so transport close callbacks run; not time flow)
         await asyncio.sleep(0)
 
     @property

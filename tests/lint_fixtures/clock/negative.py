@@ -1,0 +1,20 @@
+"""Negative fixture: clean code that *talks about* time.time().
+
+Scheduler time is anchored to the UNIX epoch (``time.time()`` at
+construction) — prose like this sentence, or the comment below, must
+never be flagged: the rule reads the AST, not the text.
+"""
+
+
+def scheduled_timestamp(scheduler):
+    # A docstring or comment mentioning time.sleep(5) is not a call.
+    return scheduler.now
+
+
+def schedule_pause(scheduler, callback, delay):
+    """Spend time via schedule(), never time.sleep()."""
+    return scheduler.schedule(delay, callback)
+
+
+def stringly(note="datetime.now() is prose here"):
+    return note

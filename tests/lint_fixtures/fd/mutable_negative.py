@@ -1,0 +1,20 @@
+"""Negative fixture: per-instance state, immutable class constants."""
+
+
+class TidyPredictor:
+    WINDOW = 8
+    KINDS = ("low", "med", "high")
+    __slots__ = ("history",)
+
+    def __init__(self):
+        self.history = []
+
+    def observe(self, delay):
+        self.history.append(delay)
+
+
+def collect(sample, sink=None):
+    if sink is None:
+        sink = []
+    sink.append(sample)
+    return sink

@@ -1,0 +1,19 @@
+"""Positive fixture: shared mutable state on a detector class."""
+
+
+class LeakyPredictor:
+    history = []  # shared by every instance in the 30-way bank
+    options = {"window": 8}
+
+    def observe(self, delay):
+        self.history.append(delay)
+
+
+def collect(sample, sink=[]):
+    sink.append(sample)
+    return sink
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

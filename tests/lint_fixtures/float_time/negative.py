@@ -1,0 +1,27 @@
+"""Negative fixture: ordered comparisons and whitelisted sentinels."""
+
+import math
+
+
+def expired(now, deadline):
+    return now >= deadline
+
+
+def unset(timeout):
+    return timeout == 0.0
+
+
+def never(deadline):
+    return deadline == float("inf")
+
+
+def cleared(last_time):
+    return last_time == float("-inf")
+
+
+def close_enough(elapsed, duration):
+    return math.isclose(elapsed, duration)
+
+
+def not_time(name, kind):
+    return name == kind

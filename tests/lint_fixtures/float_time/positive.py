@@ -1,0 +1,15 @@
+"""Positive fixture: exact equality between float time values."""
+
+
+def same_instant(arrival_time, deadline):
+    return arrival_time == deadline
+
+
+def tick_matches(now, when):
+    return now == when
+
+
+def interval_unchanged(timeout, previous_delay):
+    if timeout != previous_delay:
+        return True
+    return False

@@ -1,0 +1,33 @@
+"""Negative fixture: every post-construction mutation holds the lock."""
+
+import threading
+
+
+class DisciplinedRecorder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self.dropped = 0  # only ever mutated under the lock below
+
+    def record(self, event):
+        with self._lock:
+            self._events.append(event)
+
+    def drop_oldest(self):
+        with self._lock:
+            self._events.pop(0)
+            self.dropped += 1
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._events)
+
+
+class LockFreeCounter:
+    """No lock-guarded blocks at all: the rule stays silent."""
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1

@@ -1,0 +1,25 @@
+"""Positive fixture: an attribute guarded in one method, bare in another."""
+
+import threading
+
+
+class RacyRecorder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self.dropped = 0
+
+    def record(self, event):
+        with self._lock:
+            self._events.append(event)
+
+    def drop_oldest(self):
+        # Mutates self._events without the lock the class established.
+        self._events.pop(0)
+        self.dropped += 1
+
+    def drain(self):
+        with self._lock:
+            drained = list(self._events)
+            self._events.clear()
+        return drained

@@ -1,0 +1,8 @@
+"""Fixture: a violation silenced by a *justified* pragma."""
+
+import time
+
+
+def measured_overhead():
+    # fdlint: disable=clock-discipline (fixture: self-measurement needs the wall clock)
+    return time.perf_counter()

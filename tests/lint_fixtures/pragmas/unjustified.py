@@ -1,0 +1,7 @@
+"""Fixture: a pragma with no written reason suppresses nothing."""
+
+import time
+
+
+def sneaky_timestamp():
+    return time.time()  # fdlint: disable=clock-discipline

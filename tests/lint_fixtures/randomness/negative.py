@@ -1,0 +1,15 @@
+"""Negative fixture: injected, seeded randomness only."""
+
+import numpy as np
+
+
+def injected_draw(rng: np.random.Generator) -> float:
+    return rng.normal(0.0, 1.0)
+
+
+def derived_seed(seed: int, index: int) -> np.random.SeedSequence:
+    return np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+
+
+def explicit_generator(seq: np.random.SeedSequence) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seq))

@@ -1,0 +1,21 @@
+"""Positive fixture: ambient module-level randomness."""
+
+import random
+
+import numpy as np
+
+
+def ambient_uniform():
+    return random.random()
+
+
+def ambient_choice(items):
+    return random.choice(items)
+
+
+def ambient_numpy_draw():
+    return np.random.normal(0.0, 1.0)
+
+
+def unseeded_generator():
+    return np.random.default_rng()

@@ -1,0 +1,27 @@
+"""Negative fixture: async code that stays off the blocking paths."""
+
+import asyncio
+
+
+async def respond(writer, payload):
+    writer.write(payload)  # asyncio stream write: buffered, non-blocking
+    await writer.drain()
+
+
+async def persist_offloaded(loop, connection, rows):
+    await loop.run_in_executor(
+        None, lambda: connection.executemany("INSERT INTO t VALUES (?)", rows)
+    )
+
+
+async def awaited_driver(store):
+    await store.execute("SELECT 1")  # aiosqlite-style coroutine
+
+
+def sync_helper(connection):
+    # Synchronous code outside loop-resident modules is out of scope.
+    connection.commit()
+
+
+async def gather(tasks):
+    return await asyncio.gather(*tasks)

@@ -1,0 +1,16 @@
+"""Positive fixture: blocking calls lexically inside async bodies."""
+
+
+async def persist(connection, rows):
+    connection.executemany("INSERT INTO t VALUES (?)", rows)
+    connection.commit()
+
+
+async def read_datagram(sock):
+    return sock.recv(4096)
+
+
+async def journal(path, line):
+    handle = open(path, "a")
+    handle.write(line)
+    handle.flush()

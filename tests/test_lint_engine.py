@@ -1,0 +1,191 @@
+"""Engine-level tests: pragmas, baselines, JSON schema, rule selection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import DEFAULT_CONFIG, lint_file, lint_paths
+from repro.lint.engine import (
+    SCHEMA_VERSION,
+    known_rule_ids,
+    load_baseline,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def lint_source(source: str, name: str = "repro/fd/sample.py"):
+    return lint_file(name, DEFAULT_CONFIG, source=source)
+
+
+class TestPragmas:
+    def test_justified_pragma_suppresses_and_is_recorded(self):
+        result = lint_file(str(FIXTURES / "pragmas/justified.py"),
+                           DEFAULT_CONFIG)
+        assert result.findings == []
+        assert len(result.suppressions) == 1
+        suppression = result.suppressions[0]
+        assert suppression.justified
+        assert "self-measurement" in suppression.justification
+        assert "clock-discipline" in suppression.rules
+
+    def test_unjustified_pragma_suppresses_nothing(self):
+        result = lint_file(str(FIXTURES / "pragmas/unjustified.py"),
+                           DEFAULT_CONFIG)
+        rules = sorted(f.rule for f in result.findings)
+        assert "clock-discipline" in rules
+        assert "unjustified-suppression" in rules
+        assert result.suppressions == []
+
+    def test_unjustified_finding_carries_fdl000(self):
+        result = lint_file(str(FIXTURES / "pragmas/unjustified.py"),
+                           DEFAULT_CONFIG)
+        codes = {f.rule: f.code for f in result.findings}
+        assert codes["unjustified-suppression"] == "FDL000"
+
+    def test_trailing_pragma_covers_its_line(self):
+        source = (
+            "import time\n"
+            "t = time.time()  "
+            "# fdlint: disable=clock-discipline (test: trailing form)\n"
+        )
+        result = lint_source(source)
+        assert result.findings == []
+        assert len(result.suppressions) == 1
+
+    def test_own_line_pragma_covers_next_line(self):
+        source = (
+            "import time\n"
+            "# fdlint: disable=clock-discipline (test: own-line form)\n"
+            "t = time.time()\n"
+        )
+        assert lint_source(source).findings == []
+
+    def test_def_header_pragma_covers_whole_body(self):
+        source = (
+            "import time\n"
+            "# fdlint: disable=clock-discipline (test: block form)\n"
+            "def clocked():\n"
+            "    a = time.time()\n"
+            "    b = time.monotonic()\n"
+            "    return a, b\n"
+        )
+        result = lint_source(source)
+        assert result.findings == []
+        assert len(result.suppressions) == 1
+        assert len(result.suppressions[0].suppressed) == 2
+
+    def test_pragma_for_wrong_rule_does_not_suppress(self):
+        source = (
+            "import time\n"
+            "t = time.time()  "
+            "# fdlint: disable=seeded-randomness (test: wrong rule)\n"
+        )
+        result = lint_source(source)
+        assert [f.rule for f in result.findings] == ["clock-discipline"]
+
+    def test_pragma_text_inside_string_is_inert(self):
+        source = (
+            "import time\n"
+            'NOTE = "# fdlint: disable=clock-discipline (not a comment)"\n'
+            "t = time.time()\n"
+        )
+        result = lint_source(source)
+        assert [f.rule for f in result.findings] == ["clock-discipline"]
+
+
+class TestBaseline:
+    def test_roundtrip_and_filtering(self, tmp_path):
+        target = str(FIXTURES / "clock/positive.py")
+        full = lint_paths([target], DEFAULT_CONFIG)
+        assert full.findings
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), full)
+
+        stored = json.loads(baseline_path.read_text(encoding="utf-8"))
+        assert stored["version"] == 1
+        assert len(stored["fingerprints"]) == len(set(
+            f.fingerprint() for f in full.findings
+        ))
+
+        fingerprints = load_baseline(str(baseline_path))
+        filtered = lint_paths(
+            [target], DEFAULT_CONFIG, baseline=fingerprints
+        )
+        assert filtered.findings == []
+        assert filtered.baselined == len(full.findings)
+
+    def test_baseline_keeps_new_findings(self, tmp_path):
+        target = str(FIXTURES / "clock/positive.py")
+        full = lint_paths([target], DEFAULT_CONFIG)
+        partial = {f.fingerprint() for f in full.findings[:1]}
+        result = lint_paths([target], DEFAULT_CONFIG, baseline=partial)
+        assert len(result.findings) == len(full.findings) - 1
+        assert result.baselined == 1
+
+
+class TestJsonSchema:
+    def test_to_dict_shape(self):
+        result = lint_paths(
+            [str(FIXTURES / "clock/positive.py"),
+             str(FIXTURES / "pragmas/justified.py")],
+            DEFAULT_CONFIG,
+        )
+        payload = result.to_dict()
+        assert payload["version"] == SCHEMA_VERSION
+        assert payload["files_scanned"] == 2
+        assert isinstance(payload["baselined"], int)
+        for finding in payload["findings"]:
+            assert set(finding) >= {
+                "path", "line", "col", "rule", "code", "severity",
+                "message", "hint",
+            }
+        for suppression in payload["suppressions"]:
+            assert set(suppression) >= {
+                "path", "line", "rules", "justification", "suppressed",
+            }
+        assert payload["counts"]["clock-discipline"] >= 1
+        # must survive serialization untouched
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestSelection:
+    def test_select_narrows_to_one_rule(self):
+        source = (
+            "import time, random\n"
+            "t = time.time()\n"
+            "r = random.random()\n"
+        )
+        result = lint_file(
+            "repro/fd/sample.py", DEFAULT_CONFIG,
+            select=["clock-discipline"], source=source,
+        )
+        assert {f.rule for f in result.findings} == {"clock-discipline"}
+
+    def test_ignore_drops_one_rule(self):
+        source = (
+            "import time, random\n"
+            "t = time.time()\n"
+            "r = random.random()\n"
+        )
+        result = lint_file(
+            "repro/fd/sample.py", DEFAULT_CONFIG,
+            ignore=["clock-discipline"], source=source,
+        )
+        assert {f.rule for f in result.findings} == {"seeded-randomness"}
+
+    def test_known_rule_ids_include_codes_and_fdl000(self):
+        ids = known_rule_ids()
+        assert "clock-discipline" in ids
+        assert "FDL001" in ids
+        assert "FDL000" in ids and "unjustified-suppression" in ids
+
+
+class TestSyntaxError:
+    def test_unparseable_file_yields_syntax_finding(self):
+        result = lint_source("def broken(:\n", name="repro/fd/broken.py")
+        assert [f.rule for f in result.findings] == ["syntax-error"]
+        assert result.findings[0].code == "FDL999"

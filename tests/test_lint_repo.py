@@ -1,0 +1,52 @@
+"""Tier-1 guard: the repository's own source passes its own analyzer.
+
+This is the point of the linter — the invariants it encodes (time only
+through the Scheduler surface, seeded randomness, no blocking I/O on
+the event loop, lock discipline, no float-time equality, no shared
+mutable state) must hold for ``src/`` at all times, and every escape
+hatch must carry a written justification.
+"""
+
+from pathlib import Path
+
+from repro.lint import DEFAULT_CONFIG, lint_paths
+from repro.lint.engine import discover_rules
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+EXPECTED_RULES = {
+    "clock-discipline",
+    "seeded-randomness",
+    "async-blocking",
+    "lock-discipline",
+    "float-time-equality",
+    "mutable-shared-state",
+}
+
+
+class TestRepoIsClean:
+    def test_src_has_zero_findings(self):
+        result = lint_paths([str(SRC)], DEFAULT_CONFIG)
+        assert result.files_scanned > 50
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.clean, f"repo lint regressions:\n{rendered}"
+
+    def test_every_suppression_is_justified(self):
+        result = lint_paths([str(SRC)], DEFAULT_CONFIG)
+        for suppression in result.suppressions:
+            assert suppression.justified, (
+                f"{suppression.path}:{suppression.line} pragma has no "
+                "written justification"
+            )
+            assert len(suppression.justification.strip()) >= 10, (
+                f"{suppression.path}:{suppression.line} justification "
+                "is too thin to audit"
+            )
+
+    def test_full_rule_set_is_active(self):
+        assert EXPECTED_RULES <= set(discover_rules())
+
+    def test_linter_lints_itself(self):
+        result = lint_paths([str(SRC / "repro" / "lint")], DEFAULT_CONFIG)
+        assert result.clean, [f.render() for f in result.findings]
+        assert result.suppressions == []
