@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
 """Performance benchmark: campaign parallelism and trace-replay speed.
 
-Times the three performance layers added for the large-scale campaigns
+Times the performance layers added for the large-scale campaigns
 (see docs/performance.md):
 
 * the serial repetition loop vs. the process-pool campaign runner
   (``run_repetitions(..., workers=N)``),
 * the per-observation ``TimeoutStrategy`` classes vs. the vectorized
   trace replay (``repro.fd.replay``) on a recorded delay trace,
+* the scalar ``ArimaForecaster`` path vs. the batched refit-window
+  ARIMA replay (``batch_arima_predictions``), and
+* the event-driven simulator campaign vs. the replay-backed campaign
+  engine (``run_repetitions(..., engine="replay")``) on the full
+  30-combination matrix,
 
 and writes the measurements to a JSON file so successive runs can be
-compared.  The parallel runner and the replay path are proven equivalent
-to their scalar counterparts by ``tests/test_parallel.py`` and
-``tests/test_replay.py``; this script only measures speed.
+compared.  The parallel runner and the replay paths are proven
+equivalent to their scalar counterparts by ``tests/test_parallel.py``,
+``tests/test_replay.py`` and ``tests/test_replay_engine.py``; this
+script only measures speed.
 
 Usage::
 
@@ -21,7 +27,7 @@ Usage::
 
 ``--workers 0`` means one worker per core.  On a single-core container
 the pool degenerates to one process and the campaign speed-up is ~1x
-(minus pool overhead); the replay speed-up is hardware-independent.
+(minus pool overhead); the replay speed-ups are hardware-independent.
 """
 
 from __future__ import annotations
@@ -31,22 +37,36 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.accuracy import collect_delay_trace
 from repro.experiments.runner import aggregate_runs, run_repetitions
+from repro.fd.combinations import combination_ids
 from repro.fd.replay import (
+    REPLAY_MARGINS,
     REPLAY_PREDICTORS,
     replay_strategy,
     replay_strategy_scalar,
 )
 from repro.neko.config import ExperimentConfig
 
-#: Detector subset for the campaign timing: one per predictor family so
-#: the run exercises every vectorizable code path without the full 30.
-CAMPAIGN_DETECTORS = ["Last+JAC_med", "Mean+CI_med", "WinMean+CI_high", "LPF+JAC_low"]
+#: Margin subset for the strategy-level timings: the paper's "medium"
+#: level of each family, derived from the replay module's own registry
+#: so the bench can never drift from what replay actually supports.
+BENCH_MARGINS = tuple(m for m in REPLAY_MARGINS if m.endswith("_med"))
 
-REPLAY_MARGINS = ("CI_med", "JAC_med")
+#: Predictors timed by the generic replay section.  ARIMA gets its own
+#: section (its cost profile is refit-dominated, unlike the O(n)
+#: recurrence predictors) so the two speed-up contracts stay separate.
+BENCH_PREDICTORS = tuple(p for p in REPLAY_PREDICTORS if p != "Arima")
+
+#: Detector subset for the serial-vs-parallel campaign timing: one
+#: combination per replayable predictor family, margins cycled, derived
+#: from the same registries.
+CAMPAIGN_DETECTORS = [
+    f"{predictor}+{REPLAY_MARGINS[index % len(REPLAY_MARGINS)]}"
+    for index, predictor in enumerate(REPLAY_PREDICTORS)
+]
 
 
 def time_campaign(
@@ -80,7 +100,7 @@ def time_replay(trace_len: int, seed: int = 5) -> Dict[str, object]:
     trace = collect_delay_trace(count=trace_len, seed=seed)
     observations = trace.delays
 
-    combos = [(p, m) for p in REPLAY_PREDICTORS for m in REPLAY_MARGINS]
+    combos = [(p, m) for p in BENCH_PREDICTORS for m in BENCH_MARGINS]
 
     start = time.perf_counter()
     for predictor_name, margin_name in combos:
@@ -101,6 +121,89 @@ def time_replay(trace_len: int, seed: int = 5) -> Dict[str, object]:
     }
 
 
+def time_arima_replay(trace_len: int, seed: int = 5) -> Dict[str, object]:
+    """Wall-clock the scalar ARIMA forecaster vs. the batched replay.
+
+    Spans several refit windows (refit every 1000 observations) so both
+    sides pay the same number of least-squares fits; the difference is
+    the per-observation python loop the batch path eliminates.
+    """
+    trace = collect_delay_trace(count=trace_len, seed=seed)
+    observations = trace.delays
+
+    start = time.perf_counter()
+    for margin_name in BENCH_MARGINS:
+        replay_strategy_scalar("Arima", margin_name, observations)
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for margin_name in BENCH_MARGINS:
+        replay_strategy("Arima", margin_name, observations)
+    vector_s = time.perf_counter() - start
+
+    return {
+        "trace_len": int(observations.size),
+        "margins": len(BENCH_MARGINS),
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+    }
+
+
+def time_campaign_replay_engine(
+    cycles: int, runs: int, seed: int
+) -> Dict[str, object]:
+    """Wall-clock the simulator vs. replay campaign engines, full matrix.
+
+    Uses a crash-free configuration (``mttc = 2.5 x duration`` puts the
+    first crash draw beyond the horizon for every seed) because the
+    replay engine refuses crashy traces by contract.  Both engines run
+    serially so the comparison isolates the engine, not the pool.
+    """
+    duration = cycles * 1.0
+    config = ExperimentConfig(
+        num_cycles=cycles,
+        mttc=2.5 * duration,
+        ttr=20.0,
+        eta=1.0,
+        profile_name="italy-japan",
+        seed=seed,
+    )
+    detectors = combination_ids()
+
+    start = time.perf_counter()
+    simulated = run_repetitions(config, runs, detectors, workers=1)
+    simulator_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replayed = run_repetitions(config, runs, detectors, workers=1, engine="replay")
+    replay_s = time.perf_counter() - start
+
+    # Sanity: pooled mistake/recurrence samples must agree to float
+    # tolerance before the timing means anything.
+    pooled_sim = aggregate_runs(simulated)
+    pooled_rep = aggregate_runs(replayed)
+    for detector_id, aggregate in pooled_sim.items():
+        other = pooled_rep[detector_id]
+        for mine, theirs in (
+            (aggregate.tm_samples, other.tm_samples),
+            (aggregate.tmr_samples, other.tmr_samples),
+        ):
+            if len(mine) != len(theirs) or any(
+                abs(a - b) > 1e-6 for a, b in zip(mine, theirs)
+            ):
+                raise AssertionError(f"replay engine diverged for {detector_id}")
+
+    return {
+        "cycles": cycles,
+        "runs": runs,
+        "detectors": len(detectors),
+        "simulator_s": simulator_s,
+        "replay_s": replay_s,
+        "speedup": simulator_s / replay_s if replay_s > 0 else float("inf"),
+    }
+
+
 def run_benchmark(
     *,
     cycles: int = 4000,
@@ -109,7 +212,7 @@ def run_benchmark(
     trace_len: int = 30_000,
     seed: int = 2005,
 ) -> Dict[str, object]:
-    """Run both timings and return the result record."""
+    """Run all timings and return the result record."""
     config = ExperimentConfig(
         num_cycles=cycles,
         mttc=120.0,
@@ -125,12 +228,18 @@ def run_benchmark(
         "cpu_count": os.cpu_count() or 1,
         "campaign": time_campaign(config, runs, workers),
         "replay": time_replay(trace_len),
+        "arima_replay": time_arima_replay(trace_len),
+        "campaign_replay_engine": time_campaign_replay_engine(
+            cycles, max(2, runs // 2), seed
+        ),
     }
 
 
 def format_report(record: Dict[str, object]) -> str:
     campaign: Dict[str, float] = record["campaign"]  # type: ignore[assignment]
     replay: Dict[str, object] = record["replay"]  # type: ignore[assignment]
+    arima: Dict[str, object] = record["arima_replay"]  # type: ignore[assignment]
+    engine: Dict[str, object] = record["campaign_replay_engine"]  # type: ignore[assignment]
     lines = [
         f"campaign: {record['runs']} runs x {record['cycles']} cycles, "
         f"{len(CAMPAIGN_DETECTORS)} detectors, "
@@ -143,6 +252,16 @@ def format_report(record: Dict[str, object]) -> str:
         f"  scalar classes : {replay['scalar_s']:8.2f} s",
         f"  vectorized     : {replay['vectorized_s']:8.2f} s"
         f"   ({replay['speedup']:.1f}x)",
+        f"arima replay: {arima['margins']} margins x "
+        f"{arima['trace_len']} observations",
+        f"  scalar forecaster : {arima['scalar_s']:8.2f} s",
+        f"  batched replay    : {arima['vectorized_s']:8.2f} s"
+        f"   ({arima['speedup']:.1f}x)",
+        f"campaign engine: {engine['runs']} runs x {engine['cycles']} cycles, "
+        f"all {engine['detectors']} detectors, serial",
+        f"  simulator : {engine['simulator_s']:8.2f} s",
+        f"  replay    : {engine['replay_s']:8.2f} s"
+        f"   ({engine['speedup']:.1f}x)",
     ]
     return "\n".join(lines)
 

@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``):
     repro select-order --input delays.txt [--max-p 3 --max-d 2 --max-q 3]
     repro qos          [--cycles 20000] [--runs 5] [--workers N]
                        [--detectors all|id,id,...]
+                       [--engine simulator|replay]
     repro serve-monitor   [--port 9999] [--http-port 9100] [--eta 1.0]
                           [--trace [PATH]] [--history-db qos.sqlite]
     repro serve-heartbeat --names node-1,node-2 [--monitor-port 9999]
@@ -117,6 +118,12 @@ def _build_parser() -> argparse.ArgumentParser:
     qos.add_argument(
         "--detectors", default="all",
         help="'all' or comma-separated ids, e.g. Last+JAC_med,Arima+CI_low",
+    )
+    qos.add_argument(
+        "--engine", choices=("simulator", "replay"), default="simulator",
+        help="campaign engine: event-driven simulator (default, supports "
+             "crashes) or the vectorized trace replay (crash-free "
+             "configurations only, orders of magnitude faster)",
     )
     qos.add_argument("--chart", action="store_true",
                      help="also draw the figures as ASCII charts")
@@ -324,8 +331,14 @@ def _command_qos(args: argparse.Namespace) -> int:
     if workers is not None and workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)
         return 2
-    print(f"running {args.runs} x [{config.describe()}]")
-    results = run_repetitions(config, args.runs, detectors, workers=workers)
+    print(f"running {args.runs} x [{config.describe()}] engine={args.engine}")
+    try:
+        results = run_repetitions(
+            config, args.runs, detectors, workers=workers, engine=args.engine
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     pooled = aggregate_runs(results)
     print(f"total crashes: {sum(r.crashes for r in results)}\n")
     _print_figures(pooled, chart=args.chart)

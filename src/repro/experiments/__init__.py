@@ -27,6 +27,12 @@ from repro.experiments.parallel import (
     parallel_map,
     run_repetitions_parallel,
 )
+from repro.experiments.replay_engine import (
+    HeartbeatTrace,
+    run_qos_replay,
+    run_repetitions_replay,
+    synthesize_heartbeat_trace,
+)
 from repro.experiments.accuracy import (
     collect_delay_trace,
     predictor_accuracy,
@@ -55,6 +61,7 @@ from repro.experiments.sweep import (
 
 __all__ = [
     "AggregatedQos",
+    "HeartbeatTrace",
     "QosRunResult",
     "QosRunSummary",
     "SweepPoint",
@@ -83,5 +90,8 @@ __all__ = [
     "rank_predictors",
     "run_figure_experiments",
     "run_qos_experiment",
+    "run_qos_replay",
     "run_repetitions",
+    "run_repetitions_replay",
+    "synthesize_heartbeat_trace",
 ]

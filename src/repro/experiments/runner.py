@@ -245,6 +245,7 @@ def run_repetitions(
     detector_ids: Optional[Sequence[str]] = None,
     *,
     workers: Optional[int] = 1,
+    engine: str = "simulator",
     **build_kwargs,
 ) -> List[QosRunResult]:
     """Run ``runs`` independent repetitions (the paper performed 13).
@@ -256,9 +257,31 @@ def run_repetitions(
     :class:`QosRunResult` — same seeds, same per-run QoS, same order, but
     without the per-run event logs.  ``build_kwargs`` (which may carry
     arbitrary callables) are only supported on the serial path.
+
+    ``engine="replay"`` routes every repetition through the vectorized
+    trace-replay fast path (:mod:`repro.experiments.replay_engine`):
+    same seeds, same traces, same pooled QoS — orders of magnitude
+    faster — but restricted to crash-free, perfect-clock configurations
+    and replay-supported combinations (all 30 paper ones are).
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
+    if engine not in ("simulator", "replay"):
+        raise ValueError(
+            f'engine must be "simulator" or "replay", got {engine!r}'
+        )
+    if engine == "replay":
+        if build_kwargs:
+            raise ValueError(
+                'engine="replay" does not support build_kwargs '
+                f"(got {sorted(build_kwargs)}); they configure the "
+                "event-driven system"
+            )
+        from repro.experiments.replay_engine import run_repetitions_replay
+
+        return run_repetitions_replay(  # type: ignore[return-value]
+            config, runs, detector_ids, workers=workers
+        )
     if workers is None or workers > 1:
         if build_kwargs:
             raise ValueError(

@@ -18,6 +18,13 @@ crash-injected run.  Points are independent runs, so both sweeps accept
 :mod:`repro.experiments.parallel`; the per-point work is done by
 module-level functions on picklable payloads, and serial execution maps
 the very same functions inline — the two paths cannot diverge.
+
+Both also accept ``engine="replay"``: the point then rides the vectorized
+trace-replay fast path (:mod:`repro.experiments.replay_engine`) instead
+of the event-driven system — crash-free configurations only, but orders
+of magnitude faster, which is what makes dense sweep grids affordable.
+Continuous margin levels reach the fast path as explicit
+``("CI", gamma)`` / ``("JAC", phi)`` margin specs.
 """
 
 from __future__ import annotations
@@ -29,10 +36,13 @@ from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import MONITORED, build_qos_system
 from repro.fd.combinations import make_margin, make_predictor
 from repro.fd.detector import PushFailureDetector
+from repro.fd.replay import MarginSpec, replay_detector
 from repro.fd.safety import ConfidenceIntervalMargin, JacobsonMargin
 from repro.fd.timeout import TimeoutStrategy
 from repro.neko.config import ExperimentConfig
 from repro.nekostat.metrics import DetectorQos, extract_qos
+
+_ENGINES = ("simulator", "replay")
 
 
 @dataclass(frozen=True)
@@ -81,31 +91,59 @@ def _run_one(
     )[detector_id]
 
 
+def _replay_one(
+    config: ExperimentConfig,
+    predictor_name: str,
+    margin_spec: MarginSpec,
+) -> DetectorQos:
+    """One sweep point on the trace-replay fast path."""
+    from repro.experiments.replay_engine import synthesize_heartbeat_trace
+
+    trace = synthesize_heartbeat_trace(config)
+    replayed = replay_detector(
+        predictor_name,
+        margin_spec,
+        trace.send_times,
+        trace.delays,
+        eta=config.eta,
+        lost=trace.lost,
+        initial_timeout=config.extras.get("initial_timeout", 10.0 * config.eta),
+        end_time=config.duration,
+    )
+    return replayed.to_detector_qos()
+
+
 def _execute_eta_point(
-    payload: Tuple[ExperimentConfig, float, str, str],
+    payload: Tuple[ExperimentConfig, float, str, str, str],
 ) -> SweepPoint:
     """One eta sweep point (module-level so it pickles into workers)."""
-    base_config, eta, predictor_name, margin_name = payload
+    base_config, eta, predictor_name, margin_name, engine = payload
     cycles = max(1, int(round(base_config.duration / eta)))
     config = replace(base_config, eta=eta, num_cycles=cycles)
-    strategy = TimeoutStrategy(
-        make_predictor(predictor_name), make_margin(margin_name)
-    )
-    qos = _run_one(config, strategy, f"sweep-eta-{eta}")
+    if engine == "replay":
+        qos = _replay_one(config, predictor_name, margin_name)
+    else:
+        strategy = TimeoutStrategy(
+            make_predictor(predictor_name), make_margin(margin_name)
+        )
+        qos = _run_one(config, strategy, f"sweep-eta-{eta}")
     return SweepPoint.from_qos(eta, qos, eta)
 
 
 def _execute_margin_point(
-    payload: Tuple[ExperimentConfig, float, str, str],
+    payload: Tuple[ExperimentConfig, float, str, str, str],
 ) -> SweepPoint:
     """One margin-level sweep point (module-level so it pickles)."""
-    base_config, level, family, predictor_name = payload
-    if family == "CI":
-        margin = ConfidenceIntervalMargin(gamma=level)
+    base_config, level, family, predictor_name, engine = payload
+    if engine == "replay":
+        qos = _replay_one(base_config, predictor_name, (family, level))
     else:
-        margin = JacobsonMargin(phi=level)
-    strategy = TimeoutStrategy(make_predictor(predictor_name), margin)
-    qos = _run_one(base_config, strategy, f"sweep-{family}-{level}")
+        if family == "CI":
+            margin = ConfidenceIntervalMargin(gamma=level)
+        else:
+            margin = JacobsonMargin(phi=level)
+        strategy = TimeoutStrategy(make_predictor(predictor_name), margin)
+        qos = _run_one(base_config, strategy, f"sweep-{family}-{level}")
     return SweepPoint.from_qos(level, qos, base_config.eta)
 
 
@@ -116,6 +154,7 @@ def sweep_eta(
     predictor_name: str = "Last",
     margin_name: str = "JAC_med",
     workers: Optional[int] = 1,
+    engine: str = "simulator",
 ) -> List[SweepPoint]:
     """Run the experiment at each heartbeat period in ``etas``.
 
@@ -123,14 +162,19 @@ def sweep_eta(
     so every point sees the same crash schedule length.  With ``workers``
     > 1 (or ``None`` = all cores) the points run on a process pool; the
     result is identical to the serial sweep point for point.
+    ``engine="replay"`` evaluates each point on the vectorized fast path
+    (crash-free configurations only).
     """
     if not etas:
         raise ValueError("need at least one eta")
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     for eta in etas:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
     payloads = [
-        (base_config, float(eta), predictor_name, margin_name) for eta in etas
+        (base_config, float(eta), predictor_name, margin_name, engine)
+        for eta in etas
     ]
     return parallel_map(_execute_eta_point, payloads, workers=workers)
 
@@ -142,20 +186,27 @@ def sweep_margin_level(
     family: str = "CI",
     predictor_name: str = "Last",
     workers: Optional[int] = 1,
+    engine: str = "simulator",
 ) -> List[SweepPoint]:
     """Run the experiment at each margin level (γ for CI, φ for JAC).
 
-    ``workers`` behaves as in :func:`sweep_eta`.
+    ``workers`` and ``engine`` behave as in :func:`sweep_eta`; on the
+    replay engine the level reaches the fast path as an explicit
+    ``(family, level)`` margin spec, so the grid is not limited to the
+    Table 1 names.
     """
     if family not in ("CI", "JAC"):
         raise ValueError(f"family must be 'CI' or 'JAC', got {family!r}")
     if not levels:
         raise ValueError("need at least one level")
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     for level in levels:
         if level <= 0:
             raise ValueError(f"levels must be > 0, got {level!r}")
     payloads = [
-        (base_config, float(level), family, predictor_name) for level in levels
+        (base_config, float(level), family, predictor_name, engine)
+        for level in levels
     ]
     return parallel_map(_execute_margin_point, payloads, workers=workers)
 

@@ -23,15 +23,22 @@ with NumPy:
   the arrival order and the per-observation time-outs with pure array
   algebra — no event queue.
 
+* ``ARIMA`` is batched per refit-window
+  (:func:`~repro.timeseries.arima.batch_arima_predictions`): the refit
+  stays a per-window least-squares call on the paper's schedule, the AR
+  part of every one-step forecast and the undifferencing are shifted-array
+  operations, and only the MA innovation feedback remains a seeded O(n)
+  float recurrence — so all 30 paper combinations replay vectorized.
+
 :func:`replay_strategy` matches the per-observation
 :class:`~repro.fd.timeout.TimeoutStrategy` classes to float tolerance
 (``tests/test_replay.py`` proves it against both the scalar classes and a
 full event-driven :class:`~repro.fd.detector.PushFailureDetector` run);
-``scripts/bench_perf.py`` tracks the speedup.  ``ARIMA`` stays on the
-scalar path — its periodic refit is a batched least-squares problem, not
-a one-pass recurrence — as does any run with crash injection (the replay
-models a crash-free monitored process, which is exactly the offline
-predictor/margin evaluation workload).
+``scripts/bench_perf.py`` tracks the speedup.  Crash injection still
+needs the event-driven engine — the replay models a crash-free monitored
+process, which is exactly the offline predictor/margin evaluation
+workload (and the ``engine="replay"`` campaign mode of
+:mod:`repro.experiments.replay_engine`).
 
 NumPy is a declared dependency, but the import is guarded so that the
 scalar helpers (:func:`replay_strategy_scalar`,
@@ -41,7 +48,7 @@ scalar helpers (:func:`replay_strategy_scalar`,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 try:  # guarded: the scalar reference path must work without numpy
     import numpy as np
@@ -49,6 +56,8 @@ except ImportError:  # pragma: no cover - exercised only without numpy
     np = None  # type: ignore[assignment]
 
 from repro.fd.combinations import (
+    ARIMA_ORDER,
+    ARIMA_REFIT_INTERVAL,
     GAMMA_VALUES,
     JACOBSON_ALPHA,
     LPF_BETA,
@@ -59,30 +68,70 @@ from repro.fd.combinations import (
     parse_combination_id,
 )
 from repro.fd.timeout import TimeoutStrategy
-from repro.nekostat.metrics import DetectorQos, MistakeInterval
+from repro.nekostat.metrics import DetectorQos, qos_from_suspicion_arrays
+from repro.timeseries.arima import batch_arima_predictions
 
-#: Predictors with a vectorized replay implementation.
-REPLAY_PREDICTORS: Tuple[str, ...] = ("Last", "Mean", "WinMean", "LPF")
+#: Predictors with a vectorized replay implementation — all five paper
+#: families, so every one of the 30 combinations replays vectorized.
+REPLAY_PREDICTORS: Tuple[str, ...] = ("Arima", "Last", "Mean", "WinMean", "LPF")
 
 #: Margin families with a vectorized replay implementation.
 REPLAY_MARGINS: Tuple[str, ...] = tuple(GAMMA_VALUES) + tuple(PHI_VALUES)
+
+#: ARIMA replay defaults beyond the Table 2 order/refit constants; must
+#: mirror :class:`~repro.fd.predictors.ArimaPredictor`'s defaults (the
+#: equivalence tests pin the two together).
+ARIMA_INITIAL_FIT = 200
+ARIMA_FIT_WINDOW = 4000
 
 #: Default margin before enough observations exist (matches
 #: :class:`~repro.fd.safety.ConfidenceIntervalMargin` and
 #: :class:`~repro.fd.safety.JacobsonMargin`).
 DEFAULT_INITIAL_MARGIN = 0.1
 
+#: A margin argument: a Table 1 name ("CI_med", "JAC_low", ...) or an
+#: explicit ``(family, level)`` pair — ``("CI", gamma)`` / ``("JAC", phi)``
+#: — for the continuous sweeps.
+MarginSpec = Union[str, Tuple[str, float]]
 
-def supports_replay(predictor_name: str, margin_name: Optional[str] = None) -> bool:
+
+def _resolve_margin_spec(margin: MarginSpec) -> Tuple[str, float, str]:
+    """Normalise a margin spec to ``(family, level, label)``."""
+    if isinstance(margin, str):
+        if margin in GAMMA_VALUES:
+            return "CI", GAMMA_VALUES[margin], margin
+        if margin in PHI_VALUES:
+            return "JAC", PHI_VALUES[margin], margin
+        raise ValueError(
+            f"no vectorized replay for margin {margin!r}; "
+            f"supported: {REPLAY_MARGINS} or a ('CI'|'JAC', level) pair"
+        )
+    family, level = margin
+    if family not in ("CI", "JAC"):
+        raise ValueError(f"margin family must be 'CI' or 'JAC', got {family!r}")
+    level = float(level)
+    if level <= 0:
+        raise ValueError(f"margin level must be > 0, got {level!r}")
+    return family, level, f"{family}@{level:g}"
+
+
+def supports_replay(
+    predictor_name: str, margin_name: Optional[MarginSpec] = None
+) -> bool:
     """Whether the combination has a vectorized replay implementation.
 
-    ``ARIMA`` (and any unknown predictor) returns ``False``: it stays on
-    the scalar path until refit batching lands.
+    True for all 30 paper combinations — including ``Arima+*``, whose
+    refit-window batching lives in
+    :func:`~repro.timeseries.arima.batch_arima_predictions`.  Unknown
+    predictors or margins return ``False``.
     """
     if predictor_name not in REPLAY_PREDICTORS:
         return False
-    if margin_name is not None and margin_name not in REPLAY_MARGINS:
-        return False
+    if margin_name is not None:
+        try:
+            _resolve_margin_spec(margin_name)
+        except (ValueError, TypeError):
+            return False
     return True
 
 
@@ -120,6 +169,10 @@ def replay_predictions(
     *,
     window: int = WINMEAN_WINDOW,
     beta: float = LPF_BETA,
+    arima_order: Tuple[int, int, int] = ARIMA_ORDER,
+    arima_refit_interval: int = ARIMA_REFIT_INTERVAL,
+    arima_initial_fit: int = ARIMA_INITIAL_FIT,
+    arima_fit_window: int = ARIMA_FIT_WINDOW,
 ) -> "np.ndarray":
     """Prediction in force *after* each observation, as an array.
 
@@ -134,6 +187,17 @@ def replay_predictions(
     n = x.size
     if predictor_name == "Last":
         return x.copy()
+    if predictor_name == "Arima":
+        p, d, q = arima_order
+        return batch_arima_predictions(
+            x,
+            p,
+            d,
+            q,
+            refit_interval=arima_refit_interval,
+            initial_fit=arima_initial_fit,
+            fit_window=arima_fit_window,
+        )
     if predictor_name == "Mean":
         return np.cumsum(x) / np.arange(1, n + 1)
     if predictor_name == "WinMean":
@@ -152,12 +216,12 @@ def replay_predictions(
         return _seeded_ewma(x, beta)
     raise ValueError(
         f"no vectorized replay for predictor {predictor_name!r}; "
-        f"supported: {REPLAY_PREDICTORS} (ARIMA stays on the scalar path)"
+        f"supported: {REPLAY_PREDICTORS}"
     )
 
 
 def replay_margins(
-    margin_name: str,
+    margin_name: MarginSpec,
     observations: "np.ndarray",
     predictions: "np.ndarray",
     *,
@@ -170,15 +234,18 @@ def replay_margins(
     ``out[k]`` equals ``margin.current()`` after the margin saw the pairs
     ``(observations[j], prediction in force for j)`` for ``j <= k`` —
     mirroring the update order fixed by
-    :meth:`~repro.fd.timeout.TimeoutStrategy.observe`.
+    :meth:`~repro.fd.timeout.TimeoutStrategy.observe`.  ``margin_name``
+    may also be an explicit ``("CI", gamma)`` / ``("JAC", phi)`` pair,
+    which is how the continuous margin-level sweeps ride the fast path.
     """
     _require_numpy()
     x = np.asarray(observations, dtype=float)
     if x.ndim != 1 or x.size == 0:
         raise ValueError("observations must be a non-empty 1-D array")
     n = x.size
-    if margin_name in GAMMA_VALUES:
-        gamma = GAMMA_VALUES[margin_name]
+    family, level, _ = _resolve_margin_spec(margin_name)
+    if family == "CI":
+        gamma = level
         counts = np.arange(1, n + 1, dtype=float)
         # Shift by the overall mean before accumulating moments: the
         # cumulative sums then cancel benignly and the running variance
@@ -198,18 +265,13 @@ def replay_margins(
         if n >= 1:
             out[0] = initial_margin  # fewer than two observations
         return out
-    if margin_name in PHI_VALUES:
-        phi = PHI_VALUES[margin_name]
-        predictions = np.asarray(predictions, dtype=float)
-        if predictions.shape != x.shape:
-            raise ValueError("predictions must align with observations")
-        in_force = np.concatenate(([float(initial_prediction)], predictions[:-1]))
-        errors = np.abs(x - in_force)
-        return phi * _seeded_ewma(errors, alpha)
-    raise ValueError(
-        f"no vectorized replay for margin {margin_name!r}; "
-        f"supported: {REPLAY_MARGINS}"
-    )
+    phi = level
+    predictions = np.asarray(predictions, dtype=float)
+    if predictions.shape != x.shape:
+        raise ValueError("predictions must align with observations")
+    in_force = np.concatenate(([float(initial_prediction)], predictions[:-1]))
+    errors = np.abs(x - in_force)
+    return phi * _seeded_ewma(errors, alpha)
 
 
 @dataclass(frozen=True)
@@ -230,7 +292,7 @@ class StrategyReplay:
 
 def replay_strategy(
     predictor_name: str,
-    margin_name: str,
+    margin_name: MarginSpec,
     observations: Sequence[float],
     *,
     initial_prediction: float = 0.0,
@@ -249,9 +311,10 @@ def replay_strategy(
         initial_prediction=initial_prediction,
         initial_margin=initial_margin,
     )
+    _, _, margin_label = _resolve_margin_spec(margin_name)
     timeouts = np.maximum(0.0, predictions + margins)
     return StrategyReplay(
-        detector=f"{predictor_name}+{margin_name}",
+        detector=f"{predictor_name}+{margin_label}",
         observations=x,
         predictions=predictions,
         margins=margins,
@@ -330,31 +393,47 @@ class DetectorReplay:
 
     def suspicion_intervals(self) -> List[Tuple[float, float]]:
         """The ``[start, end)`` suspicion intervals as python tuples."""
-        return [
-            (float(s), float(e))
-            for s, e in zip(self.suspicion_starts, self.suspicion_ends)
-        ]
+        return list(
+            zip(self.suspicion_starts.tolist(), self.suspicion_ends.tolist())
+        )
 
     def to_detector_qos(self) -> DetectorQos:
-        """Package the replay as a :class:`DetectorQos` (no crashes)."""
-        qos = DetectorQos(
-            detector=self.detector,
-            observation_time=self.end_time,
-            up_time=self.end_time,
+        """Package the replay as a :class:`DetectorQos` (no crashes).
+
+        Delegates to
+        :func:`~repro.nekostat.metrics.qos_from_suspicion_arrays`, the
+        batch O(n) extraction — recurrence times via ``np.diff``,
+        availability via one vector sum, no per-interval bookkeeping.
+        """
+        return qos_from_suspicion_arrays(
+            self.detector,
+            self.suspicion_starts,
+            self.suspicion_ends,
+            end_time=self.end_time,
         )
-        qos.mistakes = [
-            MistakeInterval(start=float(s), end=float(e))
-            for s, e in zip(self.suspicion_starts, self.suspicion_ends)
-        ]
-        starts = self.suspicion_starts
-        qos.tmr_samples = [float(b - a) for a, b in zip(starts, starts[1:])]
-        qos.suspected_up_time = float(np.sum(self.mistake_durations))
-        return qos
 
 
-def replay_detector(
-    predictor_name: str,
-    margin_name: str,
+@dataclass(frozen=True)
+class TraceView:
+    """The detector-independent view of one heartbeat trace.
+
+    Arrival order, freshness and the observation sequence depend only on
+    the trace — not on the predictor or margin — so a full-matrix replay
+    computes this once and shares it across all 30 combinations.
+    """
+
+    eta: float
+    end_time: float
+    initial_timeout: float
+    arrival_times: "np.ndarray"
+    sequence_numbers: "np.ndarray"
+    sigma: "np.ndarray"
+    fresh: "np.ndarray"
+    observations: "np.ndarray"
+    fresh_observation_index: "np.ndarray"
+
+
+def trace_view(
     send_times: Sequence[float],
     delays: Sequence[float],
     *,
@@ -363,19 +442,11 @@ def replay_detector(
     initial_timeout: Optional[float] = None,
     end_time: Optional[float] = None,
     observe_stale: bool = True,
-    initial_prediction: float = 0.0,
-    initial_margin: float = DEFAULT_INITIAL_MARGIN,
-) -> DetectorReplay:
-    """Replay a recorded heartbeat trace through a vectorized detector.
+) -> TraceView:
+    """Resolve a raw trace into arrival order, freshness and observations.
 
     Heartbeat ``i`` (sequence number ``i``) is sent at ``send_times[i]``
-    and, unless ``lost[i]``, arrives after ``delays[i]`` seconds.  The
-    function reproduces the event-driven
-    :class:`~repro.fd.detector.PushFailureDetector` on that input — same
-    freshness points, same suspicion intervals — assuming perfect clocks,
-    a monitored process that never crashes, and a monitor started at
-    t = 0 (the offline trace-evaluation setting).
-
+    and, unless ``lost[i]``, arrives after ``delays[i]`` seconds.
     ``initial_timeout`` defaults to ``10 * eta``, the experiment runner's
     convention.  ``end_time`` defaults to the last arrival; arrivals after
     ``end_time`` are outside the replayed horizon, exactly as events past
@@ -417,23 +488,16 @@ def replay_detector(
     horizon = arrivals <= end_time
     arrivals, sequence, sigma = arrivals[horizon], sequence[horizon], sigma[horizon]
 
-    detector_id = f"{predictor_name}+{margin_name}"
     if arrivals.size == 0:
-        # No heartbeat ever arrives: one suspicion from the initial expiry.
-        initial_deadline = eta + float(initial_timeout)
-        has_suspicion = initial_deadline <= end_time
-        empty = np.empty(0)
-        return DetectorReplay(
-            detector=detector_id,
+        return TraceView(
+            eta=float(eta),
             end_time=float(end_time),
-            arrival_times=empty,
+            initial_timeout=float(initial_timeout),
+            arrival_times=np.empty(0),
             sequence_numbers=np.empty(0, dtype=int),
             fresh=np.empty(0, dtype=bool),
-            observations=empty,
-            timeouts=empty,
-            freshness_points=empty,
-            suspicion_starts=np.array([initial_deadline]) if has_suspicion else empty,
-            suspicion_ends=np.array([float(end_time)]) if has_suspicion else empty,
+            observations=np.empty(0),
+            fresh_observation_index=np.empty(0, dtype=int),
         )
 
     # Freshness: sequence number above everything seen so far.
@@ -450,17 +514,47 @@ def replay_detector(
         observations = observed_delays[fresh]
         fresh_observation_index = np.arange(observations.size)
 
-    strategy = replay_strategy(
-        predictor_name,
-        margin_name,
-        observations,
-        initial_prediction=initial_prediction,
-        initial_margin=initial_margin,
+    return TraceView(
+        eta=float(eta),
+        end_time=float(end_time),
+        initial_timeout=float(initial_timeout),
+        arrival_times=arrivals,
+        sequence_numbers=sequence,
+        sigma=sigma,
+        fresh=fresh,
+        observations=observations,
+        fresh_observation_index=fresh_observation_index,
     )
 
-    fresh_arrivals = arrivals[fresh]
-    fresh_sigma = sigma[fresh]
-    delta = strategy.timeouts[fresh_observation_index]
+
+def replay_view_with_timeouts(
+    view: TraceView, detector_id: str, timeouts: "np.ndarray"
+) -> DetectorReplay:
+    """Freshness-point/suspicion-interval algebra over per-observation
+    time-outs — the detector-specific half of :func:`replay_detector`."""
+    eta = view.eta
+    end_time = view.end_time
+    if view.arrival_times.size == 0:
+        # No heartbeat ever arrives: one suspicion from the initial expiry.
+        initial_deadline = eta + view.initial_timeout
+        has_suspicion = initial_deadline <= end_time
+        empty = np.empty(0)
+        return DetectorReplay(
+            detector=detector_id,
+            end_time=end_time,
+            arrival_times=empty,
+            sequence_numbers=np.empty(0, dtype=int),
+            fresh=np.empty(0, dtype=bool),
+            observations=empty,
+            timeouts=empty,
+            freshness_points=empty,
+            suspicion_starts=np.array([initial_deadline]) if has_suspicion else empty,
+            suspicion_ends=np.array([end_time]) if has_suspicion else empty,
+        )
+
+    fresh_arrivals = view.arrival_times[view.fresh]
+    fresh_sigma = view.sigma[view.fresh]
+    delta = timeouts[view.fresh_observation_index]
     # tau_{i+1} = sigma_i + eta + delta, clamped to the arming instant
     # (PushFailureDetector arms at max(now, tau)).
     freshness_points = np.maximum(fresh_arrivals, fresh_sigma + eta + delta)
@@ -468,7 +562,7 @@ def replay_detector(
     # Each deadline raises a suspicion iff the next fresh heartbeat lands
     # strictly after it (at an equal instant the delivery outranks the
     # timer); the suspicion ends at that arrival, or at the horizon.
-    deadlines = np.concatenate(([eta + float(initial_timeout)], freshness_points))
+    deadlines = np.concatenate(([eta + view.initial_timeout], freshness_points))
     next_fresh = np.concatenate((fresh_arrivals, [np.inf]))
     raised = (next_fresh > deadlines) & (deadlines <= end_time)
     suspicion_starts = deadlines[raised]
@@ -476,16 +570,122 @@ def replay_detector(
 
     return DetectorReplay(
         detector=detector_id,
-        end_time=float(end_time),
-        arrival_times=arrivals,
-        sequence_numbers=sequence,
-        fresh=fresh,
-        observations=observations,
-        timeouts=strategy.timeouts,
+        end_time=end_time,
+        arrival_times=view.arrival_times,
+        sequence_numbers=view.sequence_numbers,
+        fresh=view.fresh,
+        observations=view.observations,
+        timeouts=timeouts,
         freshness_points=freshness_points,
         suspicion_starts=suspicion_starts,
         suspicion_ends=suspicion_ends,
     )
+
+
+def replay_detector(
+    predictor_name: str,
+    margin_name: MarginSpec,
+    send_times: Sequence[float],
+    delays: Sequence[float],
+    *,
+    eta: float,
+    lost: Optional[Sequence[bool]] = None,
+    initial_timeout: Optional[float] = None,
+    end_time: Optional[float] = None,
+    observe_stale: bool = True,
+    initial_prediction: float = 0.0,
+    initial_margin: float = DEFAULT_INITIAL_MARGIN,
+) -> DetectorReplay:
+    """Replay a recorded heartbeat trace through a vectorized detector.
+
+    Reproduces the event-driven
+    :class:`~repro.fd.detector.PushFailureDetector` on that input — same
+    freshness points, same suspicion intervals — assuming perfect clocks,
+    a monitored process that never crashes, and a monitor started at
+    t = 0 (the offline trace-evaluation setting).  See :func:`trace_view`
+    for the trace conventions.
+    """
+    view = trace_view(
+        send_times,
+        delays,
+        eta=eta,
+        lost=lost,
+        initial_timeout=initial_timeout,
+        end_time=end_time,
+        observe_stale=observe_stale,
+    )
+    _, _, margin_label = _resolve_margin_spec(margin_name)
+    detector_id = f"{predictor_name}+{margin_label}"
+    if view.arrival_times.size == 0:
+        return replay_view_with_timeouts(view, detector_id, np.empty(0))
+    strategy = replay_strategy(
+        predictor_name,
+        margin_name,
+        view.observations,
+        initial_prediction=initial_prediction,
+        initial_margin=initial_margin,
+    )
+    return replay_view_with_timeouts(view, detector_id, strategy.timeouts)
+
+
+def replay_detector_matrix(
+    detector_ids: Sequence[str],
+    send_times: Sequence[float],
+    delays: Sequence[float],
+    *,
+    eta: float,
+    lost: Optional[Sequence[bool]] = None,
+    initial_timeout: Optional[float] = None,
+    end_time: Optional[float] = None,
+    observe_stale: bool = True,
+    initial_prediction: float = 0.0,
+    initial_margin: float = DEFAULT_INITIAL_MARGIN,
+) -> Dict[str, DetectorReplay]:
+    """Replay one trace through many combinations, sharing the work.
+
+    The arrival/freshness resolution is computed once, and the prediction
+    sequence once per predictor *family* (the expensive ARIMA batch runs
+    a single time however many ``Arima+*`` margins are requested) — the
+    full 30-combination paper matrix costs five prediction passes plus
+    thirty O(n) margin/interval passes.  Returns replays keyed by id, in
+    input order.
+    """
+    _require_numpy()
+    combos = [parse_combination_id(detector_id) for detector_id in detector_ids]
+    view = trace_view(
+        send_times,
+        delays,
+        eta=eta,
+        lost=lost,
+        initial_timeout=initial_timeout,
+        end_time=end_time,
+        observe_stale=observe_stale,
+    )
+    results: Dict[str, DetectorReplay] = {}
+    if view.arrival_times.size == 0:
+        for detector_id, _ in zip(detector_ids, combos):
+            results[detector_id] = replay_view_with_timeouts(
+                view, detector_id, np.empty(0)
+            )
+        return results
+    predictions_by_family: Dict[str, "np.ndarray"] = {}
+    for detector_id, (predictor_name, margin_name) in zip(detector_ids, combos):
+        predictions = predictions_by_family.get(predictor_name)
+        if predictions is None:
+            predictions = replay_predictions(predictor_name, view.observations)
+            predictions_by_family[predictor_name] = predictions
+        margins = replay_margins(
+            margin_name,
+            view.observations,
+            predictions,
+            initial_prediction=initial_prediction,
+            initial_margin=initial_margin,
+        )
+        timeouts = np.maximum(0.0, predictions + margins)
+        results[detector_id] = replay_view_with_timeouts(
+            view, detector_id, timeouts
+        )
+    return results
 
 
 def replay_detector_scalar(
@@ -556,17 +756,24 @@ def replay_detector_scalar(
 
 
 __all__ = [
+    "ARIMA_FIT_WINDOW",
+    "ARIMA_INITIAL_FIT",
     "DEFAULT_INITIAL_MARGIN",
     "DetectorReplay",
+    "MarginSpec",
     "REPLAY_MARGINS",
     "REPLAY_PREDICTORS",
     "StrategyReplay",
+    "TraceView",
     "replay_combination",
     "replay_detector",
+    "replay_detector_matrix",
     "replay_detector_scalar",
     "replay_margins",
     "replay_predictions",
     "replay_strategy",
     "replay_strategy_scalar",
+    "replay_view_with_timeouts",
     "supports_replay",
+    "trace_view",
 ]

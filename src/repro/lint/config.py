@@ -106,6 +106,23 @@ class LintConfig:
         "ttr",
     )
 
+    #: sample-array-narrowing: the batch metrics path — files and
+    #: directories where QoS sample arrays must stay NumPy end to end,
+    #: converted once at the boundary (``.tolist()``), never narrowed
+    #: element by element.
+    sample_batch_files: Tuple[str, ...] = ("repro/fd/replay.py",)
+    sample_batch_dirs: Tuple[str, ...] = ("nekostat/", "metrics/")
+
+    #: sample-array-narrowing: identifier fragments marking an iterable
+    #: as a QoS sample array.
+    sample_name_fragments: Tuple[str, ...] = (
+        "samples",
+        "durations",
+        "starts",
+        "ends",
+        "arrivals",
+    )
+
     #: Extra per-run suppressions (rule ids) applied before reporting.
     ignore: Tuple[str, ...] = field(default=())
 

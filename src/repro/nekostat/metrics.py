@@ -28,6 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+try:  # guarded: the event-log path works without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
 from repro.nekostat.events import EventKind, StatEvent
 from repro.nekostat.log import EventLog
 from repro.nekostat.stats import SummaryStats, summarize
@@ -278,6 +283,52 @@ def _up_windows(
     return windows
 
 
+def qos_from_suspicion_arrays(
+    detector: str,
+    suspicion_starts: "np.ndarray",
+    suspicion_ends: "np.ndarray",
+    *,
+    end_time: float,
+) -> DetectorQos:
+    """Batch QoS extraction for a crash-free run, as array operations.
+
+    The trace-replay fast path (:mod:`repro.fd.replay`) produces the
+    suspicion intervals of a whole run as two aligned arrays; this
+    packages them into the :class:`DetectorQos` that :func:`extract_qos`
+    would derive from the event log of the equivalent crash-free run.
+    With no crashes every suspicion is a mistake, recurrence times are
+    the first difference of the starts, and the suspected-while-up time
+    is one vector sum — O(n) NumPy, no per-interval bookkeeping.  The
+    sample math stays in arrays until the final ``tolist()`` (lint rule
+    FDL007 forbids per-element ``float()`` narrowing on this path).
+    """
+    if np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError(
+            "qos_from_suspicion_arrays requires numpy (a declared "
+            "dependency); use extract_qos on an event log instead"
+        )
+    starts = np.asarray(suspicion_starts, dtype=float)
+    ends = np.asarray(suspicion_ends, dtype=float)
+    if starts.shape != ends.shape or starts.ndim != 1:
+        raise ValueError("suspicion starts/ends must be matching 1-D arrays")
+    if starts.size and (
+        bool(np.any(ends < starts)) or bool(np.any(np.diff(starts) < 0))
+    ):
+        raise ValueError("suspicion intervals must be ordered with end >= start")
+    qos = DetectorQos(
+        detector=detector,
+        observation_time=float(end_time),
+        up_time=float(end_time),
+    )
+    qos.mistakes = [
+        MistakeInterval(start=start, end=end)
+        for start, end in zip(starts.tolist(), ends.tolist())
+    ]
+    qos.tmr_samples = np.diff(starts).tolist()
+    qos.suspected_up_time = float(np.sum(ends - starts))
+    return qos
+
+
 class OnlineQosAccumulator:
     """Streaming QoS: the same metrics as :func:`extract_qos`, updated on
     every transition instead of from a finished log.
@@ -497,4 +548,5 @@ __all__ = [
     "MistakeInterval",
     "OnlineQosAccumulator",
     "extract_qos",
+    "qos_from_suspicion_arrays",
 ]

@@ -1,0 +1,21 @@
+"""Negative fixture: vectorized sample math, one boundary conversion.
+
+The compliant shape: recurrence times via ``np.diff``, totals via
+``np.sum``, and a single ``tolist()`` where python lists are required.
+Scalar narrowing of a *reduction* is fine — it converts one value, not
+one value per sample.
+"""
+
+import numpy as np
+
+
+def pack_samples(suspicion_starts, suspicion_ends):
+    tmr_samples = np.diff(suspicion_starts).tolist()
+    suspected_up_time = float(np.sum(suspicion_ends - suspicion_starts))
+    pairs = list(zip(suspicion_starts.tolist(), suspicion_ends.tolist()))
+    return tmr_samples, suspected_up_time, pairs
+
+
+def unrelated_loop(events):
+    # Loops over non-sample iterables may narrow freely.
+    return [float(event.value) for event in events]

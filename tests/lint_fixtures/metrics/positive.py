@@ -1,0 +1,21 @@
+"""Positive fixture: per-element float() narrowing of sample arrays.
+
+Every construct below re-materialises a NumPy sample array as python
+floats one element at a time — the O(n)-objects regression FDL007 exists
+to catch on the batch metrics path.
+"""
+
+
+def pack_samples(suspicion_starts, suspicion_ends):
+    tmr_samples = []
+    for start in suspicion_starts:
+        tmr_samples.append(float(start))
+    durations = [float(end) for end in suspicion_ends]
+    total = 0.0
+    for duration in durations:
+        total += duration
+    return tmr_samples, durations, total
+
+
+def pairwise(mistake_durations):
+    return {index: float(value) for index, value in enumerate(mistake_durations)}

@@ -33,6 +33,9 @@ CORPUS = {
     "mutable-shared-state": (
         "fd/mutable_positive.py", "fd/mutable_negative.py"
     ),
+    "sample-array-narrowing": (
+        "metrics/positive.py", "metrics/negative.py"
+    ),
 }
 
 

@@ -15,18 +15,20 @@ import numpy as np
 import pytest
 
 from repro.clocks.clock import PerfectClock
-from repro.fd.combinations import MARGIN_NAMES, make_strategy
+from repro.fd.combinations import MARGIN_NAMES, combination_ids, make_strategy
 from repro.fd.detector import PushFailureDetector
 from repro.fd.heartbeat import Heartbeater
 from repro.fd.replay import (
     REPLAY_PREDICTORS,
     replay_combination,
     replay_detector,
+    replay_detector_matrix,
     replay_detector_scalar,
     replay_strategy,
     replay_strategy_scalar,
     supports_replay,
 )
+from repro.timeseries.arima import ArimaForecaster, batch_arima_predictions
 from repro.neko.layer import ProtocolStack
 from repro.neko.system import NekoSystem
 from repro.nekostat.log import EventLog
@@ -50,10 +52,20 @@ class TestSupports:
         for name in REPLAY_PREDICTORS:
             assert supports_replay(name)
 
-    def test_arima_stays_scalar(self):
-        assert not supports_replay("Arima")
-        with pytest.raises(ValueError, match="scalar path"):
-            replay_strategy("Arima", "CI_low", [0.1, 0.2])
+    def test_all_thirty_combinations_supported(self):
+        for detector_id in combination_ids():
+            predictor, margin = detector_id.split("+")
+            assert supports_replay(predictor, margin), detector_id
+
+    def test_arima_is_vectorized(self):
+        assert supports_replay("Arima")
+        assert supports_replay("Arima", "CI_low")
+
+    def test_margin_spec_tuples(self):
+        assert supports_replay("Last", ("CI", 0.7))
+        assert supports_replay("Last", ("JAC", 2.5))
+        assert not supports_replay("Last", ("XX", 1.0))
+        assert not supports_replay("Last", ("CI", -1.0))
 
     def test_unknown_margin_rejected(self):
         assert not supports_replay("Last", "nope")
@@ -103,11 +115,82 @@ class TestStrategyEquivalence:
         assert np.all(fast.margins[1:] == 0.0)  # sigma == 0 -> margin 0
 
 
+class TestArimaReplay:
+    """Tentpole proof: the batched ARIMA path is *bit-identical* to the
+    scalar :class:`~repro.timeseries.arima.ArimaForecaster`, including the
+    refit schedule and the failed-fit fallback."""
+
+    @staticmethod
+    def scalar_predictions(observations, forecaster=None):
+        forecaster = forecaster or ArimaForecaster(2, 1, 1)
+        out = []
+        for value in observations:
+            forecaster.observe(float(value))
+            out.append(forecaster.predict())
+        return forecaster, np.asarray(out)
+
+    def test_batch_matches_forecaster_bitwise(self):
+        # 2200 observations: fallback phase, initial fit at 200, refits at
+        # 1000 and 2000 — every phase of the batch implementation.
+        x = make_trace(2200, seed=13)
+        forecaster, scalar = self.scalar_predictions(x)
+        assert forecaster.refits >= 3
+        np.testing.assert_array_equal(batch_arima_predictions(x), scalar)
+
+    def test_refit_boundary_prefix_invariance(self):
+        # predictions[k] must depend only on observations[:k+1]; check the
+        # prefix property straddling the initial-fit and refit boundaries.
+        x = make_trace(1100, seed=29)
+        full = batch_arima_predictions(x)
+        for n in (199, 200, 201, 999, 1000, 1001):
+            np.testing.assert_array_equal(batch_arima_predictions(x[:n]), full[:n])
+
+    def test_before_initial_fit_is_last_value(self):
+        x = make_trace(150, seed=5)
+        np.testing.assert_array_equal(batch_arima_predictions(x), x)
+
+    def test_singular_fit_fallback(self, monkeypatch):
+        import repro.timeseries.arima as arima_mod
+
+        real_fit = arima_mod.fit_arma_hannan_rissanen
+        x = make_trace(1400, seed=17)
+
+        def flaky(fail_calls):
+            calls = {"n": 0}
+
+            def fit(w_series, p, q):
+                calls["n"] += 1
+                if calls["n"] in fail_calls:
+                    raise np.linalg.LinAlgError("injected singular fit")
+                return real_fit(w_series, p, q)
+
+            return fit
+
+        # Calls 1-2 are the initial fit and its first retry; call 4 is the
+        # 1000-observation refit.  Both paths must retry / keep the old
+        # coefficients identically.
+        fail_calls = {1, 2, 4}
+        monkeypatch.setattr(arima_mod, "fit_arma_hannan_rissanen", flaky(fail_calls))
+        batch = batch_arima_predictions(x)
+        monkeypatch.setattr(arima_mod, "fit_arma_hannan_rissanen", flaky(fail_calls))
+        forecaster, scalar = self.scalar_predictions(x)
+        assert forecaster.failed_fits == 3
+        assert forecaster.refits == 1
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_strategy_path_uses_batch(self):
+        x = make_trace(1500, seed=23)
+        fast = replay_strategy("Arima", "CI_med", x)
+        np.testing.assert_array_equal(fast.predictions, batch_arima_predictions(x))
+
+
 class TestDetectorReplay:
     """Freshness points and suspicion intervals vs the scalar reference."""
 
     @pytest.mark.parametrize(
-        "combo", [("Last", "JAC_med"), ("Mean", "CI_low"), ("LPF", "JAC_high")]
+        "combo",
+        [("Last", "JAC_med"), ("Mean", "CI_low"), ("LPF", "JAC_high"),
+         ("Arima", "CI_med")],
     )
     def test_matches_scalar_reference_with_loss(self, combo):
         n, eta = 4000, 1.0
@@ -169,6 +252,46 @@ class TestDetectorReplay:
             assert len(qos.tmr_samples) == len(qos.mistakes) - 1
 
 
+class TestDetectorMatrix:
+    """replay_detector_matrix == per-combination replay_detector, with the
+    trace view and predictions shared instead of recomputed 30 times."""
+
+    def test_full_matrix_matches_individual_replays(self):
+        n, eta = 1500, 1.0
+        rng = np.random.default_rng(31)
+        delays = make_trace(n, seed=31, spike_probability=0.02)
+        lost = rng.random(n) < 0.02
+        sends = np.arange(n) * eta
+        ids = combination_ids()
+        matrix = replay_detector_matrix(
+            ids, sends, delays, eta=eta, lost=lost, end_time=n * eta
+        )
+        assert list(matrix) == ids
+        for detector_id in ids:
+            predictor, margin = detector_id.split("+")
+            single = replay_detector(
+                predictor, margin, sends, delays,
+                eta=eta, lost=lost, end_time=n * eta,
+            )
+            batch = matrix[detector_id]
+            assert batch.detector == detector_id
+            np.testing.assert_array_equal(
+                batch.freshness_points, single.freshness_points
+            )
+            np.testing.assert_array_equal(
+                batch.suspicion_starts, single.suspicion_starts
+            )
+            np.testing.assert_array_equal(
+                batch.suspicion_ends, single.suspicion_ends
+            )
+
+    def test_margin_spec_tuple_ids_rejected_cleanly(self):
+        with pytest.raises(ValueError):
+            replay_detector_matrix(
+                ["Last+nope"], [0.0, 1.0], [0.1, 0.1], eta=1.0
+            )
+
+
 class TestAcceptanceScale:
     """The ISSUE acceptance check: 1e-9 agreement on a 30k-point trace."""
 
@@ -195,7 +318,7 @@ class TestEventDrivenEquivalence:
     @pytest.mark.parametrize(
         "combo",
         [("Last", "JAC_med"), ("Mean", "CI_med"),
-         ("WinMean", "CI_high"), ("LPF", "JAC_low")],
+         ("WinMean", "CI_high"), ("LPF", "JAC_low"), ("Arima", "CI_med")],
     )
     def test_replay_matches_simulator(self, combo):
         eta, n = 1.0, 2000
