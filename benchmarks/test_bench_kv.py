@@ -1,0 +1,71 @@
+"""Bench for the replicated KV subsystem (scripts/bench_kv.py).
+
+Regenerates no paper artifact — it guards the cost of the KV stack as a
+research instrument.  The assertions encode the contract of docs/kv.md:
+
+* a simulated KV run is orders of magnitude faster than real time (the
+  sweep grid is usable interactively), and
+* the user-visible promotion delay after a primary crash stays within
+  10 simulated seconds at the benchmark's operating point (eta=0.2,
+  Last+CI_med on the calibrated WAN).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_kv import format_report, run_benchmark  # noqa: E402
+
+pytestmark = pytest.mark.kv
+
+
+@pytest.fixture(scope="module")
+def kv_record(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("kv")
+    record = run_benchmark(
+        duration=60.0,
+        clients=2,
+        failover_runs=4,
+        failover_duration=40.0,
+        sweep_duration=20.0,
+        workers=1,
+    )
+    out = out_dir / "BENCH_kv.json"
+    out.write_text(json.dumps(record, indent=2))
+    print(f"\n{format_report(record)}")
+    print(f"wrote {out}")
+    return record
+
+
+def test_simulation_outruns_real_time(kv_record):
+    throughput = kv_record["throughput"]
+    assert throughput["ops"] > 0
+    assert throughput["sim_speedup"] >= 10.0, (
+        f"KV sim only {throughput['sim_speedup']:.1f}x real time — the "
+        "sweep grid would be unusable interactively"
+    )
+    assert throughput["ops_per_wall_s"] > 0
+
+
+def test_promotion_delay_is_bounded(kv_record):
+    failover = kv_record["failover"]
+    assert failover["failovers"] > 0
+    # Not every run yields a promotion sample (a false suspicion can
+    # depose the primary just before its scheduled crash), but the
+    # pooled runs must produce at least one.
+    assert failover["promotion_samples"] > 0
+    assert failover["promotion_p95_s"] <= 10.0, (
+        f"promotion p95 {failover['promotion_p95_s']:.2f}s exceeds the "
+        "10 simulated second contract"
+    )
+
+
+def test_sweep_grid_is_measured(kv_record):
+    sweep = kv_record["sweep"]
+    assert sweep["cells"] == len(sweep["etas"]) * len(sweep["detector_ids"])
+    assert sweep["wall_s"] > 0
+    assert sweep["cells_per_s"] > 0

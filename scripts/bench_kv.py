@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Benchmark the replicated KV subsystem (``repro.kv``).
+
+Three independent measurements:
+
+* **Throughput** — one seeded :func:`repro.kv.sim.run_kv_sim` run (the
+  full stack: replicas, detector-driven failover controller, closed-loop
+  clients on the calibrated WAN).  Reports simulated client operations
+  completed per wall-clock second and the sim-time/wall-time speedup.
+* **Failover** — promotion delay (primary crash -> replacement view
+  installed) pooled across ``--failover-runs`` seeds; the p95 is the
+  user-visible cost of a detection.  The contract proved by
+  ``benchmarks/test_bench_kv.py`` bounds it by 10 simulated seconds.
+* **Sweep** — wall-clock of a small :func:`run_kv_sweep` grid
+  (eta x detector), the unit of work behind ``repro kv-sweep``.
+
+Results are appended to a JSON history file (default ``BENCH_kv.json``),
+the same layout as ``scripts/bench_obs.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kv.py \
+        [--duration 120] [--failover-runs 8] [--output BENCH_kv.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.experiments.kv_sweep import run_kv_sweep  # noqa: E402
+from repro.kv.metrics import percentile  # noqa: E402
+from repro.kv.sim import KvSimConfig, run_kv_sim  # noqa: E402
+
+
+def _bench_throughput(duration: float, clients: int, seed: int) -> Dict:
+    config = KvSimConfig(
+        duration=duration, clients=clients, eta=0.2, seed=seed
+    )
+    started = time.perf_counter()
+    result = run_kv_sim(config)
+    elapsed = time.perf_counter() - started
+    summary = result.summary
+    return {
+        "sim_duration_s": duration,
+        "clients": clients,
+        "ops": summary.ops,
+        "acked_writes": summary.acked_writes,
+        "lost_writes": summary.lost_writes,
+        "wall_s": elapsed,
+        "ops_per_wall_s": summary.ops / elapsed if elapsed > 0 else 0.0,
+        "sim_speedup": duration / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def _bench_failover(duration: float, runs: int) -> Dict:
+    delays = []
+    failovers = 0
+    started = time.perf_counter()
+    for seed in range(runs):
+        result = run_kv_sim(
+            KvSimConfig(duration=duration, clients=1, eta=0.2, seed=seed)
+        )
+        delays.extend(result.summary.promotion_delays_s)
+        failovers += max(0, len(result.summary.views) - 1)
+    elapsed = time.perf_counter() - started
+    return {
+        "runs": runs,
+        "sim_duration_s": duration,
+        "failovers": failovers,
+        "promotion_samples": len(delays),
+        "promotion_p95_s": percentile(delays, 0.95),
+        "promotion_max_s": max(delays) if delays else None,
+        "wall_s": elapsed,
+    }
+
+
+def _bench_sweep(duration: float, workers: int) -> Dict:
+    base = KvSimConfig(duration=duration, clients=1, seed=0)
+    etas = [0.1, 0.5]
+    detector_ids = ["Last+CI_med", "Last+JAC_med"]
+    started = time.perf_counter()
+    cells = run_kv_sweep(base, etas, detector_ids, workers=workers)
+    elapsed = time.perf_counter() - started
+    return {
+        "etas": etas,
+        "detector_ids": detector_ids,
+        "cells": len(cells),
+        "workers": workers,
+        "wall_s": elapsed,
+        "cells_per_s": len(cells) / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_benchmark(
+    *,
+    duration: float = 120.0,
+    clients: int = 2,
+    failover_runs: int = 8,
+    failover_duration: float = 60.0,
+    sweep_duration: float = 30.0,
+    workers: int = 1,
+) -> Dict:
+    """Run all three measurements and return one JSON-able record."""
+    return {
+        "throughput": _bench_throughput(duration, clients, seed=7),
+        "failover": _bench_failover(failover_duration, failover_runs),
+        "sweep": _bench_sweep(sweep_duration, workers),
+    }
+
+
+def format_report(record: Dict) -> str:
+    t = record["throughput"]
+    f = record["failover"]
+    s = record["sweep"]
+    p95 = (f"{f['promotion_p95_s'] * 1e3:10.0f} ms"
+           if f["promotion_p95_s"] is not None else "         -")
+    return "\n".join(
+        [
+            f"throughput ({t['sim_duration_s']:g}s sim, "
+            f"{t['clients']} clients)",
+            f"  operations           : {t['ops']:10d} "
+            f"({t['acked_writes']} acked writes, {t['lost_writes']} lost)",
+            f"  wall clock           : {t['wall_s']:10.3f} s",
+            f"  ops / wall second    : {t['ops_per_wall_s']:10.1f}",
+            f"  sim-time speedup     : {t['sim_speedup']:10.1f} x",
+            f"failover ({f['runs']} runs x {f['sim_duration_s']:g}s sim)",
+            f"  failovers            : {f['failovers']:10d}",
+            f"  promotion samples    : {f['promotion_samples']:10d}",
+            f"  promotion p95        : {p95}",
+            f"  wall clock           : {f['wall_s']:10.3f} s",
+            f"sweep ({len(s['etas'])} etas x {len(s['detector_ids'])} "
+            f"detectors, {s['workers']} worker(s))",
+            f"  cells                : {s['cells']:10d}",
+            f"  wall clock           : {s['wall_s']:10.3f} s",
+            f"  cells / second       : {s['cells_per_s']:10.2f}",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds for the throughput run")
+    parser.add_argument("--clients", type=int, default=2)
+    parser.add_argument("--failover-runs", type=int, default=8)
+    parser.add_argument("--failover-duration", type=float, default=60.0)
+    parser.add_argument("--sweep-duration", type=float, default=30.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process pool size for the sweep measurement")
+    parser.add_argument("--output", default="BENCH_kv.json",
+                        help="JSON history file, or '-' to skip writing")
+    args = parser.parse_args(argv)
+    if args.failover_runs < 1:
+        parser.error("--failover-runs must be >= 1")
+
+    result = run_benchmark(
+        duration=args.duration,
+        clients=args.clients,
+        failover_runs=args.failover_runs,
+        failover_duration=args.failover_duration,
+        sweep_duration=args.sweep_duration,
+        workers=args.workers,
+    )
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    result["python"] = platform.python_version()
+
+    print(format_report(result))
+    p95 = result["failover"]["promotion_p95_s"]
+    if p95 is not None and p95 > 10.0:
+        print(f"WARNING: promotion p95 {p95:.2f}s "
+              "(contract is <= 10 simulated seconds)")
+
+    if args.output == "-":
+        return 0
+    history = []
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                history = json.load(handle)
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(result)
+    with open(args.output, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    print(f"\nappended to {args.output} ({len(history)} run(s) recorded)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,8 @@ Usage (also via ``python -m repro``):
                           [--mttc 120 --ttr 20] [--trace [PATH]]
     repro qos-history     --db qos.sqlite [--window 3600]
                           [--endpoint node-1] [--detectors all|id,...]
+    repro kv-sweep        [--etas 0.1,0.5,1.0] [--detectors all|id,...]
+                          [--duration 120] [--workers N] [--output kv.json]
 
 Every subcommand prints its table or figure in the layout of the paper
 (Tables 2-4, Figures 4-8) so terminal output can be compared directly.
@@ -34,6 +36,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.accuracy import collect_delay_trace, predictor_accuracy
 from repro.experiments.characterize import characterize_profile
+from repro.experiments.kv_sweep import HEATMAP_METRICS as KV_HEATMAP_METRICS
 from repro.experiments.qos import FIGURE_METRICS, figure_data
 from repro.experiments.report import (
     format_figure_grid,
@@ -236,6 +239,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     history.add_argument("--json", action="store_true",
                          help="print the raw JSON documents instead")
+
+    kv_sweep = subparsers.add_parser(
+        "kv-sweep",
+        help="sweep (eta x detector) over the replicated KV service "
+             "and report user-visible QoS (see docs/kv.md)",
+    )
+    _add_profile_argument(kv_sweep)
+    kv_sweep.add_argument(
+        "--etas", default="0.1,0.5,1.0",
+        help="comma-separated heartbeat periods, seconds",
+    )
+    kv_sweep.add_argument(
+        "--detectors", default="all",
+        help="'all' or comma-separated ids, e.g. Last+JAC_med,Arima+CI_low",
+    )
+    kv_sweep.add_argument("--nodes", type=int, default=3,
+                          help="replicas (primary + backups)")
+    kv_sweep.add_argument("--clients", type=int, default=2,
+                          help="closed-loop workload clients")
+    kv_sweep.add_argument("--duration", type=float, default=120.0,
+                          help="simulated seconds per grid cell")
+    kv_sweep.add_argument("--seed", type=int, default=0)
+    kv_sweep.add_argument("--read-fraction", type=float, default=0.7,
+                          help="fraction of client ops that are GETs")
+    kv_sweep.add_argument("--write-concern", type=int, default=0,
+                          help="backup acks required before a SET is acked")
+    kv_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the grid (0 = one per core, "
+             "default: 1 = serial)",
+    )
+    kv_sweep.add_argument(
+        "--heatmap-metric", default="unavailability_s",
+        choices=KV_HEATMAP_METRICS,
+        help="metric shaded in the ASCII heatmap",
+    )
+    kv_sweep.add_argument("--output", default=None,
+                          help="save the sweep (config, cells, leaderboard) "
+                               "as JSON")
 
     from repro.lint.cli import add_lint_parser
 
@@ -588,6 +630,69 @@ def _command_serve_heartbeat(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_kv_sweep(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.experiments.kv_sweep import (
+        format_kv_sweep,
+        format_leaderboard,
+        leaderboard,
+        render_heatmap,
+        run_kv_sweep,
+        sweep_to_dict,
+    )
+    from repro.fd.combinations import combination_ids
+    from repro.kv.sim import KvSimConfig
+    from repro.kv.workload import WorkloadSpec
+
+    try:
+        detectors = _parse_detectors(args.detectors)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if detectors is None:
+        detectors = combination_ids()
+    etas = []
+    for token in args.etas.split(","):
+        token = token.strip()
+        if token:
+            etas.append(float(token))
+    workers: Optional[int] = args.workers if args.workers != 0 else None
+    if workers is not None and workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        base = KvSimConfig(
+            nodes=args.nodes,
+            clients=args.clients,
+            duration=args.duration,
+            profile_name=args.profile,
+            seed=args.seed,
+            write_concern=args.write_concern,
+            workload=WorkloadSpec(read_fraction=args.read_fraction),
+        )
+        print(f"running {len(etas)} eta x {len(detectors)} detector KV cells "
+              f"({args.nodes} nodes, {args.clients} clients, "
+              f"{args.duration:g}s each, profile={args.profile})")
+        cells = run_kv_sweep(base, etas, detectors, workers=workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(format_kv_sweep(cells))
+    print()
+    print(render_heatmap(cells, args.heatmap_metric))
+    print()
+    print(format_leaderboard(leaderboard(cells)))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_module.dump(sweep_to_dict(base, cells), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"\nsaved sweep to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "characterize": _command_characterize,
     "accuracy": _command_accuracy,
@@ -599,6 +704,7 @@ _COMMANDS = {
     "serve-monitor": _command_serve_monitor,
     "serve-heartbeat": _command_serve_heartbeat,
     "qos-history": _command_qos_history,
+    "kv-sweep": _command_kv_sweep,
 }
 
 

@@ -1,0 +1,305 @@
+"""KV sweeps: user-visible QoS across (η, timeout/margin) × detectors.
+
+The application-level analogue of :mod:`repro.experiments.sweep`: every
+cell of the grid is one full deterministic KV run
+(:func:`repro.kv.sim.run_kv_sim`) — replicas, FD-driven failover
+controller, seeded closed-loop clients, a primary crash — and reports
+the QoS *users* see (unavailability, failed and stale reads, write
+loss, promotion delay) next to the raw detector numbers (T_D, mistake
+rate) measured in the very same run.  The margin axis of the paper's
+matrix rides in through the detector ids (``Last+CI_low`` …
+``Arima+JAC_high``), so a (η × detector) grid covers (η ×
+timeout/margin) for every predictor family.
+
+Cells are independent runs: the grid fans out over the process pool of
+:mod:`repro.experiments.parallel` via a module-level picklable executor,
+exactly like the detector-level sweeps.
+
+Artifacts: an ASCII table (:func:`format_kv_sweep`), shaded heatmaps
+over the grid (:func:`render_heatmap` — the detection-latency heatmap of
+the ROADMAP's KV direction), a per-detector leaderboard aggregated over
+η (:func:`leaderboard`), and a JSON document (:func:`sweep_to_dict`)
+for the committed artifacts and the CLI ``--output``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.parallel import parallel_map
+from repro.fd.combinations import parse_combination_id
+from repro.kv.sim import KvSimConfig, KvSimResult, run_kv_sim
+
+#: Heatmap shading ramp, light to dark.
+_SHADES = " .:-=+*#%@"
+
+#: Metrics :func:`render_heatmap` can plot (cell attribute names).
+HEATMAP_METRICS = (
+    "unavailability_s",
+    "max_window_s",
+    "promotion_delay_s",
+    "failed_fraction",
+    "stale_reads",
+    "lost_writes",
+    "td_mean_s",
+)
+
+
+@dataclass(frozen=True)
+class KvSweepCell:
+    """Both QoS layers measured at one (η, detector) grid cell."""
+
+    eta: float
+    detector_id: str
+    # User-visible.
+    ops: int
+    failed_fraction: float
+    stale_reads: int
+    lost_writes: int
+    unavailability_s: float
+    max_window_s: float
+    latency_p95_s: Optional[float]
+    failovers: int
+    promotion_delay_s: Optional[float]
+    # Raw detector (pooled over the per-node detectors of the same run).
+    td_mean_s: Optional[float]
+    mistake_rate: float
+
+    @classmethod
+    def from_result(cls, result: KvSimResult) -> "KvSweepCell":
+        summary = result.summary
+        td_samples = [
+            sample
+            for qos in result.detector_qos.values()
+            for sample in qos.td_samples
+        ]
+        up_time = sum(qos.up_time for qos in result.detector_qos.values())
+        mistakes = sum(len(qos.mistakes) for qos in result.detector_qos.values())
+        delays = summary.promotion_delays_s
+        return cls(
+            eta=result.config.eta,
+            detector_id=result.config.detector_id,
+            ops=summary.ops,
+            failed_fraction=summary.failed_fraction,
+            stale_reads=summary.stale_reads,
+            lost_writes=summary.lost_writes,
+            unavailability_s=summary.unavailability.total_s,
+            max_window_s=summary.unavailability.max_window_s,
+            latency_p95_s=summary.latency_p95_s,
+            failovers=max(0, len(summary.views) - 1),
+            promotion_delay_s=(
+                sum(delays) / len(delays) if delays else None
+            ),
+            td_mean_s=(
+                sum(td_samples) / len(td_samples) if td_samples else None
+            ),
+            mistake_rate=(mistakes / up_time if up_time > 0 else 0.0),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "eta": self.eta,
+            "detector_id": self.detector_id,
+            "ops": self.ops,
+            "failed_fraction": self.failed_fraction,
+            "stale_reads": self.stale_reads,
+            "lost_writes": self.lost_writes,
+            "unavailability_s": self.unavailability_s,
+            "max_window_s": self.max_window_s,
+            "latency_p95_s": self.latency_p95_s,
+            "failovers": self.failovers,
+            "promotion_delay_s": self.promotion_delay_s,
+            "td_mean_s": self.td_mean_s,
+            "mistake_rate": self.mistake_rate,
+        }
+
+
+def _execute_kv_cell(payload: Tuple[KvSimConfig]) -> KvSweepCell:
+    """One grid cell (module-level so it pickles into pool workers)."""
+    (config,) = payload
+    return KvSweepCell.from_result(run_kv_sim(config))
+
+
+def run_kv_sweep(
+    base: KvSimConfig,
+    etas: Sequence[float],
+    detector_ids: Sequence[str],
+    *,
+    workers: Optional[int] = 1,
+) -> List[KvSweepCell]:
+    """Run the full (η × detector) grid; cells in row-major η order."""
+    if not etas:
+        raise ValueError("need at least one eta")
+    if not detector_ids:
+        raise ValueError("need at least one detector id")
+    for eta in etas:
+        if eta <= 0:
+            raise ValueError(f"eta must be > 0, got {eta!r}")
+    for detector_id in detector_ids:
+        parse_combination_id(detector_id)  # Raises on unknown ids.
+    payloads = [
+        (replace(base, eta=float(eta), detector_id=detector_id),)
+        for eta in etas
+        for detector_id in detector_ids
+    ]
+    return parallel_map(_execute_kv_cell, payloads, workers=workers)
+
+
+def format_kv_sweep(cells: Sequence[KvSweepCell]) -> str:
+    """Render the grid as a table, one row per cell."""
+    header = (
+        f"{'eta':>7}  {'detector':<16}{'ops':>6}{'fail%':>7}{'stale':>6}"
+        f"{'lost':>5}{'unavail':>9}{'maxwin':>8}{'views':>6}"
+        f"{'promo':>8}{'T_D':>8}{'mist/h':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        promo = (
+            f"{cell.promotion_delay_s * 1e3:>6.0f}ms"
+            if cell.promotion_delay_s is not None
+            else f"{'-':>8}"
+        )
+        td = (
+            f"{cell.td_mean_s * 1e3:>6.0f}ms"
+            if cell.td_mean_s is not None
+            else f"{'-':>8}"
+        )
+        lines.append(
+            f"{cell.eta:>7.3g}  {cell.detector_id:<16}{cell.ops:>6}"
+            f"{cell.failed_fraction * 100:>6.1f}%{cell.stale_reads:>6}"
+            f"{cell.lost_writes:>5}{cell.unavailability_s:>8.2f}s"
+            f"{cell.max_window_s:>7.2f}s{cell.failovers:>6}"
+            f"{promo}{td}{cell.mistake_rate * 3600:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _metric_value(cell: KvSweepCell, metric: str) -> float:
+    if metric not in HEATMAP_METRICS:
+        raise ValueError(
+            f"metric must be one of {HEATMAP_METRICS}, got {metric!r}"
+        )
+    value = getattr(cell, metric)
+    return float(value) if value is not None else 0.0
+
+
+def render_heatmap(
+    cells: Sequence[KvSweepCell], metric: str = "unavailability_s"
+) -> str:
+    """Shade the (η × detector) grid by one metric (dark = worse).
+
+    The classic detection-latency heatmap, generalised: rows are η
+    (message cost), columns are detector combinations (each id fixes a
+    predictor and a timeout margin), the shade is the chosen
+    user-visible metric normalised to the grid maximum.
+    """
+    etas = sorted({cell.eta for cell in cells})
+    detector_ids = sorted({cell.detector_id for cell in cells})
+    by_key = {(cell.eta, cell.detector_id): cell for cell in cells}
+    peak = max((_metric_value(cell, metric) for cell in cells), default=0.0)
+    width = max(len(detector_id) for detector_id in detector_ids)
+    lines = [f"heatmap: {metric} (max={peak:.3g}, '@'=max, ' '=0)"]
+    for detector_id in detector_ids:
+        row = []
+        for eta in etas:
+            cell = by_key.get((eta, detector_id))
+            if cell is None:
+                row.append("?")
+                continue
+            if peak <= 0:
+                row.append(_SHADES[0])
+                continue
+            fraction = _metric_value(cell, metric) / peak
+            index = min(len(_SHADES) - 1, int(fraction * (len(_SHADES) - 1) + 0.5))
+            row.append(_SHADES[index])
+        lines.append(f"{detector_id:<{width}}  |{''.join(row)}|")
+    eta_labels = " ".join(f"{eta:g}" for eta in etas)
+    lines.append(f"{'':<{width}}  eta -> {eta_labels}")
+    return "\n".join(lines)
+
+
+def leaderboard(cells: Sequence[KvSweepCell]) -> List[Dict[str, Any]]:
+    """Rank detectors by user-visible QoS aggregated over the η axis.
+
+    Sort key (ascending, best first): total unavailability, then lost
+    writes, then stale reads, then failed fraction — data loss and
+    downtime dominate cosmetic staleness.
+    """
+    by_detector: Dict[str, List[KvSweepCell]] = {}
+    for cell in cells:
+        by_detector.setdefault(cell.detector_id, []).append(cell)
+    rows = []
+    for detector_id, group in by_detector.items():
+        ops = sum(cell.ops for cell in group)
+        failed = sum(cell.failed_fraction * cell.ops for cell in group)
+        rows.append(
+            {
+                "detector_id": detector_id,
+                "cells": len(group),
+                "unavailability_s": sum(c.unavailability_s for c in group),
+                "lost_writes": sum(c.lost_writes for c in group),
+                "stale_reads": sum(c.stale_reads for c in group),
+                "failed_fraction": failed / ops if ops else 0.0,
+                "failovers": sum(c.failovers for c in group),
+            }
+        )
+    rows.sort(
+        key=lambda row: (
+            row["unavailability_s"],
+            row["lost_writes"],
+            row["stale_reads"],
+            row["failed_fraction"],
+            row["detector_id"],
+        )
+    )
+    return rows
+
+
+def format_leaderboard(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render the leaderboard as a table, best detector first."""
+    header = (
+        f"{'#':>3}  {'detector':<16}{'unavail':>9}{'lost':>6}{'stale':>7}"
+        f"{'fail%':>8}{'views':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for rank, row in enumerate(rows, start=1):
+        lines.append(
+            f"{rank:>3}  {row['detector_id']:<16}"
+            f"{row['unavailability_s']:>8.2f}s{row['lost_writes']:>6}"
+            f"{row['stale_reads']:>7}{row['failed_fraction'] * 100:>7.2f}%"
+            f"{row['failovers']:>7}"
+        )
+    return "\n".join(lines)
+
+
+def sweep_to_dict(
+    base: KvSimConfig,
+    cells: Sequence[KvSweepCell],
+) -> Dict[str, Any]:
+    """The JSON artifact: config, per-cell QoS, leaderboard."""
+    return {
+        "config": {
+            "nodes": base.nodes,
+            "clients": base.clients,
+            "duration": base.duration,
+            "profile": base.profile_name,
+            "seed": base.seed,
+            "write_concern": base.write_concern,
+            "read_fraction": base.workload.read_fraction,
+        },
+        "cells": [cell.to_dict() for cell in cells],
+        "leaderboard": leaderboard(cells),
+    }
+
+
+__all__ = [
+    "HEATMAP_METRICS",
+    "KvSweepCell",
+    "format_kv_sweep",
+    "format_leaderboard",
+    "leaderboard",
+    "render_heatmap",
+    "run_kv_sweep",
+    "sweep_to_dict",
+]

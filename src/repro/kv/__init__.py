@@ -1,0 +1,56 @@
+"""`repro.kv` — a replicated KV service with FD-driven failover.
+
+The first *application* built on the reproduction's detector stack: a
+primary/backup GET/SET store whose failover decisions come from the
+paper's failure-detector combinations, measured by the QoS users
+actually see (unavailability windows, failed and stale reads, write
+loss) next to the raw detector metrics (T_D, T_M).
+
+Modules
+-------
+``store``
+    Monotonic ``(epoch, seq)``-versioned key-value state.
+``node``
+    The primary/backup replica state machine (transport-agnostic core
+    plus the simulation layer adapter).
+``failover``
+    Sticky-leadership election over detector suspect/trust transitions.
+``client`` / ``workload``
+    Seeded closed-loop clients with retry/redirect, and their traffic
+    specification.
+``metrics``
+    User-visible QoS extraction (:class:`~repro.kv.metrics.KvRunSummary`).
+``sim``
+    Deterministic end-to-end runs on the simulated WAN
+    (:func:`~repro.kv.sim.run_kv_sim`).
+``live``
+    The same protocol over real UDP sockets next to the monitoring
+    daemon (:class:`~repro.kv.live.LiveKvNode`,
+    :class:`~repro.kv.live.LiveFailoverController`).
+"""
+
+from repro.kv.client import KvClientLayer, OpRecord
+from repro.kv.failover import FailoverControllerLayer, FailoverState, ViewChange
+from repro.kv.metrics import KvRunSummary, compute_summary
+from repro.kv.node import KvNodeCore, KvNodeLayer
+from repro.kv.sim import KvSimConfig, KvSimResult, run_kv_sim
+from repro.kv.store import Version, VersionedStore
+from repro.kv.workload import WorkloadSpec
+
+__all__ = [
+    "FailoverControllerLayer",
+    "FailoverState",
+    "KvClientLayer",
+    "KvNodeCore",
+    "KvNodeLayer",
+    "KvRunSummary",
+    "KvSimConfig",
+    "KvSimResult",
+    "OpRecord",
+    "Version",
+    "VersionedStore",
+    "ViewChange",
+    "WorkloadSpec",
+    "compute_summary",
+    "run_kv_sim",
+]

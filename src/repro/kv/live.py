@@ -1,0 +1,485 @@
+"""The KV service over real UDP sockets, next to the monitoring daemon.
+
+Live mode reuses the exact protocol core the simulation runs
+(:class:`~repro.kv.node.KvNodeCore`) and drives failover from the
+monitoring daemon's detector bank instead of a simulated one:
+
+* :class:`LiveKvNode` — one replica on its own UDP socket.  It embeds a
+  :class:`~repro.service.heartbeat.HeartbeatEmitter` sending heartbeats
+  *from the same socket*, so the daemon's auto-learned peer table entry
+  for the node is the node's service address — which is what lets the
+  daemon transmit ``kv-view`` broadcasts back (the outbound path of
+  ``MonitorDaemon._send``).  ``crash()`` mirrors SimCrash semantics:
+  announce, then drop all traffic in both directions.
+* :class:`LiveFailoverController` — subscribes to the daemon's
+  observability hub; every dirty notification for the configured
+  detector re-reads that endpoint's suspicion state and feeds the shared
+  :class:`~repro.kv.failover.FailoverState`.  View changes are traced
+  (``kv-view`` / ``kv-promote`` / ``kv-demote`` span events) and
+  broadcast over the daemon's socket; ``render_metrics`` contributes
+  ``fd_kv_*`` series to ``/metrics``.
+* :class:`AsyncKvClient` — a coroutine client with the same
+  retry/redirect behaviour as the simulated one (the smoke-test driver).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.daemon import MonitorDaemon
+
+from repro.kv.failover import FailoverState, ViewChange
+from repro.kv.node import (
+    KV_GET,
+    KV_GET_OK,
+    KV_REDIRECT,
+    KV_SET,
+    KV_SET_OK,
+    KV_VIEW,
+    KvNodeCore,
+    NODE_KINDS,
+)
+from repro.kv.store import Version, decode_version
+from repro.net.message import Datagram
+from repro.net.udp import decode_datagram, encode_datagram
+from repro.service.heartbeat import HeartbeatEmitter
+from repro.service.runtime import AsyncioScheduler
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, on_datagram) -> None:
+        self._on_datagram = on_datagram
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self._on_datagram(data, addr)
+
+
+class LiveKvNode:
+    """One KV replica on a real UDP socket, heartbeating the monitor."""
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Sequence[str],
+        monitor: Tuple[str, int],
+        *,
+        eta: float,
+        write_concern: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        monitor_address: str = "monitor",
+    ) -> None:
+        self.core = KvNodeCore(name, nodes, write_concern=write_concern)
+        self.name = name
+        self.eta = float(eta)
+        self._monitor = monitor
+        self._monitor_address = monitor_address
+        self._host = host
+        self._port = port
+        self._peers: Dict[str, Tuple[str, int]] = {}
+        self._scheduler: Optional[AsyncioScheduler] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.emitter: Optional[HeartbeatEmitter] = None
+        self._crashed = False
+        self.dropped_while_crashed = 0
+        self.unroutable = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Open the socket and start heartbeating the monitor."""
+        if self._transport is not None:
+            raise RuntimeError("node already started")
+        loop = asyncio.get_running_loop()
+        self._scheduler = AsyncioScheduler(loop)
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self._on_datagram),
+            local_addr=(self._host, self._port),
+        )
+        self._transport = transport
+        self.emitter = HeartbeatEmitter(
+            self.name,
+            self._transmit,
+            self._scheduler,
+            eta=self.eta,
+            monitor_address=self._monitor_address,
+        )
+        self.emitter.start()
+
+    async def stop(self) -> None:
+        """Stop heartbeating and close the socket (idempotent)."""
+        if self.emitter is not None:
+            self.emitter.stop()
+            self.emitter = None
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        # fdlint: disable=clock-discipline (zero-delay event-loop yield so transport close callbacks run; not time flow)
+        await asyncio.sleep(0)
+
+    @property
+    def udp_endpoint(self) -> Tuple[str, int]:
+        """The bound (host, port) of this node's service socket."""
+        if self._transport is None:
+            raise RuntimeError("node is not started")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    def add_peer(self, name: str, addr: Tuple[str, int]) -> None:
+        """Pin another node's (or a client's) UDP address."""
+        self._peers[name] = (addr[0], addr[1])
+
+    # ------------------------------------------------------------------
+    # Crash semantics (SimCrash over a real socket)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is currently simulating a crash."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Announce the crash, then drop all traffic in both directions."""
+        if self._crashed:
+            return
+        assert self.emitter is not None
+        self.emitter.crash()
+        self._crashed = True
+
+    def restore(self) -> None:
+        """Resume service and heartbeats, then announce the restore."""
+        if not self._crashed:
+            return
+        assert self.emitter is not None
+        self._crashed = False
+        self.emitter.restore()
+
+    # ------------------------------------------------------------------
+    # Datagram plumbing
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
+        try:
+            message = decode_datagram(data)
+        except (ValueError, KeyError):
+            return
+        if message.kind == "control-ack":
+            # Monitor receipts must reach the emitter even mid-crash —
+            # the crash announcement itself is what is being acked.
+            if self.emitter is not None and isinstance(message.payload, dict):
+                self.emitter.on_control_ack(message.payload.get("ctl"))
+            return
+        if self._crashed:
+            self.dropped_while_crashed += 1
+            return
+        self._peers[message.source] = (addr[0], addr[1])
+        if message.kind not in NODE_KINDS:
+            return
+        for destination, kind, payload in self.core.handle(
+            message.source, message.kind, message.payload
+        ):
+            self._transmit(
+                Datagram(
+                    source=self.name,
+                    destination=destination,
+                    kind=kind,
+                    payload=payload,
+                )
+            )
+
+    def _transmit(self, message: Datagram) -> None:
+        if self._crashed and message.kind not in ("crash", "restore"):
+            self.dropped_while_crashed += 1
+            return
+        transport = self._transport
+        if transport is None or transport.is_closing():
+            return
+        if message.destination == self._monitor_address:
+            addr = self._monitor
+        else:
+            peer = self._peers.get(message.destination)
+            if peer is None:
+                self.unroutable += 1
+                return
+            addr = peer
+        transport.sendto(encode_datagram(message), addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        return f"LiveKvNode({self.name!r}, {state})"
+
+
+class LiveFailoverController:
+    """Failover decisions from the daemon's live detector bank.
+
+    Parameters
+    ----------
+    daemon:
+        A started :class:`~repro.service.daemon.MonitorDaemon`; the
+        controller registers itself as ``daemon.kv_controller`` (which
+        also wires the ``fd_kv_*`` series into ``/metrics``).
+    nodes:
+        Replica names in promotion-priority order; each must heartbeat
+        the daemon so its suspicion state and peer address exist.
+    detector_id:
+        The combination id whose suspect/trust transitions drive
+        failover (must be in ``daemon.detector_ids``).
+    """
+
+    def __init__(
+        self,
+        daemon: "MonitorDaemon",
+        nodes: Sequence[str],
+        *,
+        detector_id: str,
+    ) -> None:
+        if detector_id not in daemon.detector_ids:
+            raise ValueError(
+                f"detector {detector_id!r} is not run by the daemon "
+                f"(available: {daemon.detector_ids!r})"
+            )
+        self.daemon = daemon
+        self.nodes = list(nodes)
+        self.detector_id = detector_id
+        self.state = FailoverState(nodes)
+        self.view_log: List[Tuple[float, ViewChange]] = [
+            (daemon.scheduler.now, self.state.view)
+        ]
+        self.failovers_total = 0
+        self.views_broadcast = 0
+        daemon.obs.add_dirty_listener(self._on_dirty)
+        daemon.kv_controller = self
+        self.broadcast_view()
+
+    @property
+    def view(self) -> ViewChange:
+        """The currently installed view."""
+        return self.state.view
+
+    # ------------------------------------------------------------------
+    # Detector intake
+    # ------------------------------------------------------------------
+    def _on_dirty(self, endpoint: str, detector: str = "") -> None:
+        if endpoint not in self.state.nodes:
+            return
+        if detector and detector != self.detector_id:
+            return
+        monitor = self.daemon.registry.get(endpoint)
+        if monitor is None:
+            return
+        live_detector = monitor.detectors.get(self.detector_id)
+        if live_detector is None:
+            return
+        previous_primary = self.state.primary
+        change = self.state.on_transition(endpoint, live_detector.suspecting)
+        if change is None:
+            return
+        now = self.daemon.scheduler.now
+        self.view_log.append((now, change))
+        self.failovers_total += 1
+        tracer = self.daemon.obs.tracer
+        if tracer is not None:
+            if previous_primary is not None:
+                tracer.emit(now, "kv-demote", previous_primary,
+                            detector=self.detector_id)
+            if change.primary is not None:
+                tracer.emit(now, "kv-promote", change.primary,
+                            detector=self.detector_id)
+            tracer.emit(now, "kv-view", change.primary or "",
+                        detector=self.detector_id, seq=change.epoch)
+        self.broadcast_view()
+
+    def broadcast_view(self) -> None:
+        """Push the current view to every replica over the daemon socket."""
+        payload = {"epoch": self.state.epoch, "primary": self.state.primary}
+        for node in self.nodes:
+            sent = self.daemon.send_datagram(
+                Datagram(
+                    source=self.daemon.address,
+                    destination=node,
+                    kind=KV_VIEW,
+                    payload=dict(payload),
+                )
+            )
+            if sent:
+                self.views_broadcast += 1
+
+    # ------------------------------------------------------------------
+    # Metrics (called by IncrementalExporter._render_head)
+    # ------------------------------------------------------------------
+    def render_metrics(self, lines: List[str], header) -> None:
+        """Append the ``fd_kv_*`` series to a /metrics head render."""
+        header("fd_kv_epoch", "gauge", "Current KV failover view epoch.")
+        lines.append(f"fd_kv_epoch {self.state.epoch}")
+        header("fd_kv_failovers_total", "counter",
+               "KV view changes installed since the controller started.")
+        lines.append(f"fd_kv_failovers_total {self.failovers_total}")
+        header("fd_kv_views_broadcast_total", "counter",
+               "KV view datagrams transmitted over the service socket.")
+        lines.append(f"fd_kv_views_broadcast_total {self.views_broadcast}")
+        header("fd_kv_primary", "gauge",
+               "1 on the replica the current view names primary.")
+        for node in self.nodes:
+            flag = 1 if node == self.state.primary else 0
+            lines.append(f'fd_kv_primary{{endpoint="{node}"}} {flag}')
+
+
+class KvClientError(RuntimeError):
+    """An operation exhausted its retry budget."""
+
+
+class AsyncKvClient:
+    """A coroutine GET/SET client with retry/redirect (smoke tests)."""
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Dict[str, Tuple[str, int]],
+        order: Sequence[str],
+        *,
+        op_timeout: float = 0.5,
+        max_retries: int = 8,
+    ) -> None:
+        if not order:
+            raise ValueError("client needs at least one node")
+        self.name = name
+        self._addrs = dict(nodes)
+        self.order = list(order)
+        self.op_timeout = float(op_timeout)
+        self.max_retries = int(max_retries)
+        self.epoch = 0
+        self.primary: Optional[str] = self.order[0]
+        self.high_version: Dict[str, Version] = {}
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._waiters: Dict[str, asyncio.Future] = {}
+        self._op_counter = 0
+        self.retries_total = 0
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self._on_datagram),
+            local_addr=("127.0.0.1", 0),
+        )
+        self._transport = transport
+
+    async def stop(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.cancel()
+        self._waiters.clear()
+        # fdlint: disable=clock-discipline (zero-delay event-loop yield so transport close callbacks run; not time flow)
+        await asyncio.sleep(0)
+
+    async def set(self, key: str, value: Any) -> Version:
+        """Write ``key`` and return the acknowledged version."""
+        payload = {"key": key, "value": value}
+        reply = await self._request(KV_SET, payload, ok_kind=KV_SET_OK)
+        version = decode_version(reply["version"])
+        self._observe(key, version)
+        return version
+
+    async def get(self, key: str) -> Tuple[Any, Optional[Version], bool]:
+        """Read ``key``: returns ``(value, version, stale)``."""
+        reply = await self._request(KV_GET, {"key": key}, ok_kind=KV_GET_OK)
+        raw = reply["version"]
+        version = decode_version(raw) if raw is not None else None
+        high = self.high_version.get(key)
+        stale = high is not None and (version is None or version < high)
+        if version is not None:
+            self._observe(key, version)
+        return reply["value"], version, stale
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _observe(self, key: str, version: Version) -> None:
+        high = self.high_version.get(key)
+        if high is None or version > high:
+            self.high_version[key] = version
+
+    def _adopt_view(self, payload: Dict[str, Any]) -> None:
+        epoch = int(payload["epoch"])
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self.primary = payload["primary"]
+
+    def _target(self, attempt: int) -> str:
+        anchor = self.primary if self.primary is not None else self.order[0]
+        try:
+            base = self.order.index(anchor)
+        except ValueError:
+            base = 0
+        return self.order[(base + attempt) % len(self.order)]
+
+    async def _request(
+        self, kind: str, payload: Dict[str, Any], *, ok_kind: str
+    ) -> Dict[str, Any]:
+        if self._transport is None:
+            raise RuntimeError("client is not started")
+        self._op_counter += 1
+        uid = f"{self.name}:{self._op_counter}"
+        payload = dict(payload)
+        payload["uid"] = uid
+        attempt = 0
+        while attempt <= self.max_retries:
+            target = self._target(attempt)
+            waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._waiters[uid] = waiter
+            self._transport.sendto(
+                encode_datagram(
+                    Datagram(
+                        source=self.name,
+                        destination=target,
+                        kind=kind,
+                        payload=payload,
+                    )
+                ),
+                self._addrs[target],
+            )
+            try:
+                reply = await asyncio.wait_for(waiter, timeout=self.op_timeout)
+            except asyncio.TimeoutError:
+                attempt += 1
+                self.retries_total += 1
+                continue
+            finally:
+                self._waiters.pop(uid, None)
+            if reply.kind == ok_kind:
+                return reply.payload
+            # Redirect: adopt the newer view and retry immediately.
+            self._adopt_view(reply.payload)
+            attempt += 1
+            self.retries_total += 1
+        raise KvClientError(
+            f"{kind} {payload.get('key')!r} exhausted {self.max_retries} retries"
+        )
+
+    def _on_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
+        try:
+            message = decode_datagram(data)
+        except (ValueError, KeyError):
+            return
+        if message.kind == KV_VIEW:
+            self._adopt_view(message.payload)
+            return
+        if message.kind not in (KV_SET_OK, KV_GET_OK, KV_REDIRECT):
+            return
+        uid = message.payload.get("uid") if isinstance(message.payload, dict) else None
+        waiter = self._waiters.get(uid)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(message)
+
+
+__all__ = [
+    "AsyncKvClient",
+    "KvClientError",
+    "LiveFailoverController",
+    "LiveKvNode",
+]

@@ -1,0 +1,253 @@
+"""User-visible QoS: turning client records into the metrics that matter.
+
+The paper's detector metrics (T_D, T_M, T_MR) describe the oracle; these
+describe the application the oracle drives.  From the finished
+:class:`~repro.kv.client.OpRecord` stream, the controller's view log and
+the replicas' final stores we compute:
+
+* **unavailability windows** — the union of wall-clock intervals during
+  which some client operation was failing or retrying; total seconds,
+  the widest single window, and the window count;
+* **failed / stale reads** — operations that exhausted their retry
+  budget, and reads that returned a version below one the same client
+  had already observed (a consistency violation users notice);
+* **write loss** — acknowledged writes the final authoritative replica
+  never applied (an overwritten-but-once-applied write is *not* lost:
+  last-writer-wins);
+* **failover timing** — per primary crash, the delay until a view
+  naming a live replacement was installed (promotion delay), the
+  application-level analogue of T_D.
+
+Everything is assembled into a :class:`KvRunSummary` whose
+:meth:`~KvRunSummary.to_dict` is canonical and JSON-able — the object the
+byte-stability property test serialises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.kv.client import OpRecord
+from repro.kv.failover import ViewChange
+from repro.kv.store import VersionedStore
+
+
+@dataclass(frozen=True)
+class UnavailabilityStats:
+    """The union of degraded-service intervals seen by the client pool."""
+
+    total_s: float
+    max_window_s: float
+    windows: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_s": self.total_s,
+            "max_window_s": self.max_window_s,
+            "windows": self.windows,
+        }
+
+
+@dataclass(frozen=True)
+class KvRunSummary:
+    """User-visible QoS of one KV run (canonical, JSON-able)."""
+
+    ops: int
+    reads: int
+    writes: int
+    ok_ops: int
+    failed_ops: int
+    incomplete_ops: int
+    stale_reads: int
+    acked_writes: int
+    lost_writes: int
+    retries_total: int
+    timeouts_total: int
+    latency_mean_s: Optional[float]
+    latency_p95_s: Optional[float]
+    unavailability: UnavailabilityStats
+    views: Tuple[Tuple[float, int, Optional[str]], ...]
+    primary_crashes: int
+    promotion_delays_s: Tuple[float, ...]
+
+    @property
+    def failed_fraction(self) -> float:
+        """Share of operations that failed or never completed."""
+        if self.ops == 0:
+            return 0.0
+        return (self.failed_ops + self.incomplete_ops) / self.ops
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-able form (byte-stability fixture)."""
+        return {
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "ok_ops": self.ok_ops,
+            "failed_ops": self.failed_ops,
+            "incomplete_ops": self.incomplete_ops,
+            "stale_reads": self.stale_reads,
+            "acked_writes": self.acked_writes,
+            "lost_writes": self.lost_writes,
+            "retries_total": self.retries_total,
+            "timeouts_total": self.timeouts_total,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p95_s": self.latency_p95_s,
+            "unavailability": self.unavailability.to_dict(),
+            "views": [list(view) for view in self.views],
+            "primary_crashes": self.primary_crashes,
+            "promotion_delays_s": list(self.promotion_delays_s),
+        }
+
+
+def merge_intervals(
+    intervals: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping ``[start, end]`` intervals."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            previous_start, previous_end = merged[-1]
+            merged[-1] = (previous_start, max(previous_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def percentile(values: Sequence[float], fraction: float) -> Optional[float]:
+    """Empirical percentile (nearest-rank on the sorted sample)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def primary_at(
+    views: Sequence[Tuple[float, ViewChange]], time: float
+) -> Optional[str]:
+    """The primary named by the view in force at ``time``."""
+    current: Optional[str] = None
+    for installed_at, view in views:
+        if installed_at > time:
+            break
+        current = view.primary
+    return current
+
+
+def promotion_delays(
+    views: Sequence[Tuple[float, ViewChange]],
+    primary_crash_times: Sequence[float],
+) -> List[float]:
+    """Per primary crash: delay until a view naming a live replacement.
+
+    A crash with no subsequent replacement view (run ended first) yields
+    no sample, mirroring how ``extract_qos`` drops unfinished T_D pairs.
+    """
+    delays: List[float] = []
+    for crash_time in primary_crash_times:
+        crashed = primary_at(views, crash_time)
+        for installed_at, view in views:
+            if installed_at < crash_time:
+                continue
+            if view.primary is not None and view.primary != crashed:
+                delays.append(installed_at - crash_time)
+                break
+    return delays
+
+
+def authoritative_store(
+    stores: Dict[str, VersionedStore],
+    views: Sequence[Tuple[float, ViewChange]],
+) -> List[VersionedStore]:
+    """The store(s) write-loss is judged against.
+
+    The final view's primary is authoritative.  If the run ends with no
+    primary (total outage), no single replica is authoritative and a
+    write survives if *any* replica applied it.
+    """
+    final_primary = views[-1][1].primary if views else None
+    if final_primary is not None and final_primary in stores:
+        return [stores[final_primary]]
+    return list(stores.values())
+
+
+def compute_summary(
+    records: Sequence[OpRecord],
+    views: Sequence[Tuple[float, ViewChange]],
+    stores: Dict[str, VersionedStore],
+    *,
+    primary_crash_times: Sequence[float] = (),
+) -> KvRunSummary:
+    """Assemble the user-visible QoS summary of one run."""
+    reads = sum(1 for record in records if record.op == "get")
+    writes = len(records) - reads
+    ok_ops = sum(1 for record in records if record.ok)
+    incomplete = sum(1 for record in records if record.error == "incomplete")
+    failed = len(records) - ok_ops - incomplete
+    stale_reads = sum(1 for record in records if record.ok and record.stale)
+
+    acked = [
+        record
+        for record in records
+        if record.op == "set" and record.ok and record.version is not None
+    ]
+    authorities = authoritative_store(stores, views)
+    lost = sum(
+        1
+        for record in acked
+        if not any(
+            store.has_seen(record.key, record.version) for store in authorities
+        )
+    )
+
+    degraded = [
+        (record.start, record.end)
+        for record in records
+        if (not record.ok) or record.timeouts > 0
+    ]
+    windows = merge_intervals(degraded)
+    total_unavailable = sum(end - start for start, end in windows)
+    max_window = max((end - start for start, end in windows), default=0.0)
+
+    latencies = [record.latency for record in records if record.ok]
+    mean = sum(latencies) / len(latencies) if latencies else None
+
+    return KvRunSummary(
+        ops=len(records),
+        reads=reads,
+        writes=writes,
+        ok_ops=ok_ops,
+        failed_ops=failed,
+        incomplete_ops=incomplete,
+        stale_reads=stale_reads,
+        acked_writes=len(acked),
+        lost_writes=lost,
+        retries_total=sum(record.retries for record in records),
+        timeouts_total=sum(record.timeouts for record in records),
+        latency_mean_s=mean,
+        latency_p95_s=percentile(latencies, 0.95),
+        unavailability=UnavailabilityStats(
+            total_s=total_unavailable,
+            max_window_s=max_window,
+            windows=len(windows),
+        ),
+        views=tuple(
+            (installed_at, view.epoch, view.primary) for installed_at, view in views
+        ),
+        primary_crashes=len(primary_crash_times),
+        promotion_delays_s=tuple(promotion_delays(views, primary_crash_times)),
+    )
+
+
+__all__ = [
+    "KvRunSummary",
+    "UnavailabilityStats",
+    "authoritative_store",
+    "compute_summary",
+    "merge_intervals",
+    "percentile",
+    "primary_at",
+    "promotion_delays",
+]

@@ -1,0 +1,104 @@
+"""The replicated state: a key-value store with monotonic versions.
+
+Every write is stamped with a ``(epoch, seq)`` version: ``epoch`` is the
+cluster view epoch under which the write was accepted (bumped by the
+:mod:`repro.kv.failover` controller on every promotion) and ``seq`` is
+the accepting primary's write counter within that epoch.  Versions are
+compared lexicographically, so a write accepted by a freshly promoted
+primary always supersedes anything a deposed primary stamped — even when
+the deposed primary's counter ran further.  This is what makes the
+user-visible metrics well defined: a read is *stale* when it returns a
+version below one the client already observed, and an acknowledged write
+is *lost* when the final authoritative store holds a lower version for
+its key.
+
+The store itself is deliberately boring — a dict plus a monotonicity
+check — because all interesting behaviour (replication, acknowledgement,
+failover) lives in the protocol layers above it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: A write version: (view epoch, per-epoch write sequence).
+Version = Tuple[int, int]
+
+
+def encode_version(version: Version) -> List[int]:
+    """JSON-able form of a version (datagram payloads)."""
+    return [version[0], version[1]]
+
+
+def decode_version(raw: Any) -> Version:
+    """Parse a version out of a datagram payload."""
+    epoch, seq = raw
+    return (int(epoch), int(seq))
+
+
+class VersionedStore:
+    """One replica's key-value state with monotonic versioned writes."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Tuple[Any, Version]] = {}
+        self._seen: Set[Tuple[str, Version]] = set()
+        self.applied_writes = 0
+        self.rejected_writes = 0
+
+    def apply(self, key: str, value: Any, version: Version) -> bool:
+        """Apply a write if its version supersedes the stored one.
+
+        Returns whether the write was applied.  Equal versions are
+        idempotent re-deliveries (retransmitted replications) and are
+        treated as applied without mutating state.
+        """
+        current = self._data.get(key)
+        if current is not None:
+            if version == current[1]:
+                return True
+            if version < current[1]:
+                self.rejected_writes += 1
+                return False
+        self._data[key] = (value, version)
+        self._seen.add((key, version))
+        self.applied_writes += 1
+        return True
+
+    def has_seen(self, key: str, version: Version) -> bool:
+        """Whether this replica ever applied ``(key, version)``.
+
+        Distinguishes a write that was *overwritten* (applied, then
+        superseded — no user-visible loss under last-writer-wins) from
+        one that was *lost* (acknowledged somewhere but never applied
+        here): the write-loss metric of :mod:`repro.kv.metrics`.
+        """
+        return (key, version) in self._seen
+
+    def get(self, key: str) -> Optional[Tuple[Any, Version]]:
+        """The stored ``(value, version)`` for ``key``, or ``None``."""
+        return self._data.get(key)
+
+    def version(self, key: str) -> Optional[Version]:
+        """The stored version for ``key``, or ``None``."""
+        entry = self._data.get(key)
+        return entry[1] if entry is not None else None
+
+    def keys(self) -> List[str]:
+        """Stored keys, sorted."""
+        return sorted(self._data)
+
+    def snapshot(self) -> Dict[str, Tuple[Any, Version]]:
+        """A shallow copy of the full state (end-of-run accounting)."""
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VersionedStore(keys={len(self._data)})"
+
+
+__all__ = ["Version", "VersionedStore", "decode_version", "encode_version"]

@@ -123,6 +123,15 @@ class LintConfig:
         "arrivals",
     )
 
+    #: detector-bank-construction: the one module allowed to fan
+    #: PushFailureDetector out over the combination-id matrix.
+    bank_allowed_files: Tuple[str, ...] = ("repro/fd/bank.py",)
+
+    #: detector-bank-construction: loop-iterable identifiers (terminal
+    #: name, lowercased) treated as combination-id sources in addition
+    #: to anything containing "combination".
+    bank_id_names: Tuple[str, ...] = ("detector_ids", "detectors")
+
     #: Extra per-run suppressions (rule ids) applied before reporting.
     ignore: Tuple[str, ...] = field(default=())
 

@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.fd.combinations import combination_ids
 from repro.net.message import Datagram
-from repro.net.udp import decode_datagram
+from repro.net.udp import decode_datagram, encode_datagram
 from repro.obs.hub import ObservabilityHub
 from repro.service.exporter import IncrementalExporter, render_status
 from repro.service.registry import EndpointMonitor, EndpointRegistry
@@ -151,9 +151,18 @@ class MonitorDaemon:
         self._snapshot_handle = None
         self._started_at = 0.0
         self._running = False
+        # Peer table: endpoint name -> last UDP (host, port) it sent from.
+        # Auto-learned from inbound traffic, or pinned via add_peer();
+        # this is what makes the daemon's outbound path (_send) work.
+        self._peers: Dict[str, Tuple[str, int]] = {}
+        # Optional live KV failover controller (repro.kv.live); when set,
+        # the exporter renders its per-application series.
+        self.kv_controller: Optional[Any] = None
         # Fleet-level counters.
         self.heartbeats_total = 0
         self.dropped_datagrams = 0
+        self.sent_datagrams = 0
+        self.control_acks_sent = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -290,6 +299,10 @@ class MonitorDaemon:
         except (ValueError, KeyError):
             self.dropped_datagrams += 1
             return
+        # Learn (or refresh) the sender's service address: replies and
+        # any future outbound traffic go to the last address the peer
+        # spoke from, the classic UDP NAT-friendly convention.
+        self._peers[message.source] = (addr[0], addr[1])
         self.dispatch(message)
 
     def dispatch(self, message: Datagram) -> None:
@@ -326,18 +339,66 @@ class MonitorDaemon:
                 self.dropped_datagrams += 1
                 return
             monitor.record_crash()
+            self._ack_control(message)
         elif message.kind == "restore":
             if monitor is None:
                 self.dropped_datagrams += 1
                 return
             monitor.record_restore()
+            self._ack_control(message)
         else:
             self.dropped_datagrams += 1
 
-    def _send(self, message: Datagram) -> None:
-        # Monitor-side layers are receive-only today; outbound datagrams
-        # (a future pull-style detector) would need a peer table first.
-        self.dropped_datagrams += 1
+    def _ack_control(self, message: Datagram) -> None:
+        """Acknowledge a crash/restore control datagram.
+
+        The monitors tolerate duplicate controls, so acking every copy —
+        including retransmissions of an already-recorded one — is what
+        stops the emitter's retransmit loop.  Controls without a ``ctl``
+        sequence (pre-retransmission emitters) are acked too; the sender
+        just ignores the ack.
+        """
+        ctl = None
+        if isinstance(message.payload, dict):
+            ctl = message.payload.get("ctl")
+        sent = self._send(
+            message.reply("control-ack", {"kind": message.kind, "ctl": ctl})
+        )
+        if sent:
+            self.control_acks_sent += 1
+
+    # ------------------------------------------------------------------
+    # Outbound traffic (peer table)
+    # ------------------------------------------------------------------
+    def add_peer(self, name: str, addr: Tuple[str, int]) -> None:
+        """Pin the UDP address of ``name`` (normally auto-learned)."""
+        self._peers[name] = (addr[0], addr[1])
+
+    def peer_addr(self, name: str) -> Optional[Tuple[str, int]]:
+        """The last-known UDP address of ``name``, if any."""
+        return self._peers.get(name)
+
+    def peers(self) -> Dict[str, Tuple[str, int]]:
+        """A copy of the peer table (diagnostics)."""
+        return dict(self._peers)
+
+    def send_datagram(self, message: Datagram) -> bool:
+        """Transmit ``message`` to its destination's learned address.
+
+        Returns whether the datagram was put on the wire (``False`` when
+        the destination is unknown or the socket is closed).
+        """
+        return self._send(message)
+
+    def _send(self, message: Datagram) -> bool:
+        addr = self._peers.get(message.destination)
+        transport = self._transport
+        if addr is None or transport is None or transport.is_closing():
+            self.dropped_datagrams += 1
+            return False
+        transport.sendto(encode_datagram(message), addr)
+        self.sent_datagrams += 1
+        return True
 
     # ------------------------------------------------------------------
     # Observability

@@ -359,6 +359,18 @@ class IncrementalExporter:
         lines.append(
             f"fd_service_inferred_restores_total {daemon.inferred_restores_total()}"
         )
+        header(
+            "fd_service_sent_datagrams_total",
+            "counter",
+            "Datagrams transmitted over the service socket (peer table)",
+        )
+        lines.append(f"fd_service_sent_datagrams_total {daemon.sent_datagrams}")
+
+        # Per-application series: a live KV failover controller, when one
+        # is attached (repro.kv.live).
+        kv = getattr(daemon, "kv_controller", None)
+        if kv is not None:
+            kv.render_metrics(lines, header)
 
         monitors = sorted(daemon.registry, key=lambda m: m.name)
         header(

@@ -12,9 +12,10 @@ or on demand via :meth:`HeartbeatEmitter.crash`.  Because there is no
 shared simulator log on a real network, the emitter announces crash and
 restore instants with ``"crash"``/``"restore"`` control datagrams: the
 live analogue of NekoStat's merged event log, instrumentation that makes
-end-to-end ``T_D`` measurable.  (UDP may lose a control datagram; the
-monitor tolerates duplicates, and a lost pair simply costs one ``T_D``
-sample.)
+end-to-end ``T_D`` measurable.  Control datagrams are retransmitted
+until the monitor's ``control-ack`` arrives (the monitor records them
+idempotently, so duplicates are harmless) — a lost crash datagram no
+longer costs a ``T_D`` sample.
 
 :class:`HeartbeatFleet` runs many emitters on one socket and one event
 loop — the shape both the integration tests and the service benchmark
@@ -32,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.trace import TraceRecorder
 
 from repro.net.message import Datagram
-from repro.net.udp import encode_datagram
+from repro.net.udp import decode_datagram, encode_datagram
 from repro.service.runtime import AsyncioScheduler
 
 
@@ -49,11 +50,21 @@ class HeartbeatEmitter:
         monitor_address: str = "monitor",
         phase: float = 0.0,
         tracer: Optional["TraceRecorder"] = None,
+        control_retransmit: float = 0.5,
+        control_max_retries: int = 5,
     ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
         if not name:
             raise ValueError("emitter name must be non-empty")
+        if control_retransmit <= 0:
+            raise ValueError(
+                f"control_retransmit must be > 0, got {control_retransmit!r}"
+            )
+        if control_max_retries < 0:
+            raise ValueError(
+                f"control_max_retries must be >= 0, got {control_max_retries!r}"
+            )
         self.name = name
         self.eta = float(eta)
         self.monitor_address = monitor_address
@@ -66,9 +77,17 @@ class HeartbeatEmitter:
         self._handle = None
         self._running = False
         self._crashed = False
+        self.control_retransmit = float(control_retransmit)
+        self.control_max_retries = int(control_max_retries)
+        self._ctl_seq = 0
+        # ctl -> (datagram, attempts so far, pending retransmit handle).
+        self._pending_controls: Dict[int, Tuple[Datagram, int, object]] = {}
         self.sent = 0
         self.suppressed = 0
         self.crash_count = 0
+        self.control_retransmits = 0
+        self.control_acked = 0
+        self.control_given_up = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -88,6 +107,9 @@ class HeartbeatEmitter:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+        for _datagram, _attempts, handle in self._pending_controls.values():
+            handle.cancel()  # type: ignore[attr-defined]
+        self._pending_controls.clear()
 
     @property
     def running(self) -> bool:
@@ -118,14 +140,65 @@ class HeartbeatEmitter:
         self._announce("restore")
 
     def _announce(self, kind: str) -> None:
-        self._send(
-            Datagram(
-                source=self.name,
-                destination=self.monitor_address,
-                kind=kind,
-                timestamp=self._scheduler.now,
-            )
+        """Send a crash/restore control, retransmitting until acked.
+
+        A lost control datagram used to cost a ``T_D`` sample (the
+        monitor never saw the crash instant).  Each control now carries a
+        ``ctl`` sequence number and is resent every
+        ``control_retransmit`` seconds until the monitor's
+        ``control-ack`` for that sequence arrives (bounded by
+        ``control_max_retries``).  The monitor records controls
+        idempotently, so duplicates are harmless.
+        """
+        self._ctl_seq += 1
+        ctl = self._ctl_seq
+        datagram = Datagram(
+            source=self.name,
+            destination=self.monitor_address,
+            kind=kind,
+            payload={"ctl": ctl},
+            timestamp=self._scheduler.now,
         )
+        self._send(datagram)
+        if self.control_max_retries > 0:
+            self._arm_control_retransmit(ctl, datagram, attempts=0)
+
+    def _arm_control_retransmit(
+        self, ctl: int, datagram: Datagram, *, attempts: int
+    ) -> None:
+        handle = self._scheduler.schedule(
+            self.control_retransmit,
+            lambda: self._retransmit_control(ctl),
+            name=f"{self.name}:control-retransmit",
+        )
+        self._pending_controls[ctl] = (datagram, attempts, handle)
+
+    def _retransmit_control(self, ctl: int) -> None:
+        pending = self._pending_controls.pop(ctl, None)
+        if pending is None:
+            return
+        datagram, attempts, _handle = pending
+        if attempts >= self.control_max_retries:
+            self.control_given_up += 1
+            return
+        self._send(datagram)
+        self.control_retransmits += 1
+        self._arm_control_retransmit(ctl, datagram, attempts=attempts + 1)
+
+    def on_control_ack(self, ctl: object) -> None:
+        """The monitor confirmed a control datagram: stop resending it."""
+        if not isinstance(ctl, int):
+            return
+        pending = self._pending_controls.pop(ctl, None)
+        if pending is None:
+            return
+        pending[2].cancel()  # type: ignore[attr-defined]
+        self.control_acked += 1
+
+    @property
+    def pending_controls(self) -> int:
+        """Controls still awaiting the monitor's ack."""
+        return len(self._pending_controls)
 
     # ------------------------------------------------------------------
     # Beating
@@ -222,8 +295,18 @@ class LiveCrashInjector:
 
 
 class _FleetProtocol(asyncio.DatagramProtocol):
-    def datagram_received(self, data, addr) -> None:  # pragma: no cover
-        pass  # emitters are send-only
+    """Receives the monitor's replies on the fleet's connected socket.
+
+    Today the only monitor→emitter traffic is ``control-ack`` (the
+    receipt for a crash/restore control datagram); it is routed to the
+    emitter the ack is addressed to.
+    """
+
+    def __init__(self, fleet: "HeartbeatFleet") -> None:
+        self._fleet = fleet
+
+    def datagram_received(self, data, addr) -> None:
+        self._fleet._on_datagram(data)
 
 
 class HeartbeatFleet:
@@ -287,7 +370,7 @@ class HeartbeatFleet:
         loop = asyncio.get_running_loop()
         self._scheduler = AsyncioScheduler(loop)
         transport, _ = await loop.create_datagram_endpoint(
-            _FleetProtocol, remote_addr=self._monitor
+            lambda: _FleetProtocol(self), remote_addr=self._monitor
         )
         self._transport = transport
         for name in self._names:
@@ -351,6 +434,17 @@ class HeartbeatFleet:
     def _send(self, message: Datagram) -> None:
         if self._transport is not None and not self._transport.is_closing():
             self._transport.sendto(encode_datagram(message))
+
+    def _on_datagram(self, data: bytes) -> None:
+        try:
+            message = decode_datagram(data)
+        except (ValueError, KeyError):
+            return
+        if message.kind != "control-ack":
+            return
+        emitter = self.emitters.get(message.destination)
+        if emitter is not None and isinstance(message.payload, dict):
+            emitter.on_control_ack(message.payload.get("ctl"))
 
 
 __all__ = [

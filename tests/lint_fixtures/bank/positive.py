@@ -1,0 +1,31 @@
+"""Positive fixture: inline detector-bank fan-out (must flag FDL008)."""
+
+from repro.fd.combinations import combination_ids, make_strategy
+from repro.fd.detector import PushFailureDetector
+
+
+def build_inline_bank(monitored, eta, event_log):
+    bank = {}
+    for detector_id in combination_ids():
+        predictor, margin = detector_id.split("+")
+        bank[detector_id] = PushFailureDetector(
+            make_strategy(predictor, margin),
+            monitored,
+            eta,
+            event_log,
+            detector_id=detector_id,
+        )
+    return bank
+
+
+def build_inline_bank_comprehension(monitored, eta, event_log, detectors):
+    return {
+        detector_id: PushFailureDetector(
+            make_strategy(*detector_id.split("+")),
+            monitored,
+            eta,
+            event_log,
+            detector_id=detector_id,
+        )
+        for detector_id in detectors
+    }

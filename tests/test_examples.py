@@ -24,6 +24,7 @@ EXAMPLES = {
     "tune_timeout.py": [],
     "custom_predictor.py": [],
     "real_udp.py": [],
+    "kv_failover_demo.py": ["40"],
 }
 
 

@@ -1,0 +1,137 @@
+"""Tests for the KV sweep layer (`repro.experiments.kv_sweep`) and CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.kv_sweep import (
+    HEATMAP_METRICS,
+    KvSweepCell,
+    format_kv_sweep,
+    format_leaderboard,
+    leaderboard,
+    render_heatmap,
+    run_kv_sweep,
+    sweep_to_dict,
+)
+from repro.kv.sim import KvSimConfig
+
+pytestmark = pytest.mark.kv
+
+BASE = KvSimConfig(duration=20.0, seed=4, clients=1)
+
+
+def _cell(eta=0.1, detector_id="Last+CI_med", **overrides):
+    fields = dict(
+        eta=eta, detector_id=detector_id, ops=100, failed_fraction=0.01,
+        stale_reads=1, lost_writes=0, unavailability_s=2.0, max_window_s=1.5,
+        latency_p95_s=0.4, failovers=3, promotion_delay_s=0.2,
+        td_mean_s=0.21, mistake_rate=0.001,
+    )
+    fields.update(overrides)
+    return KvSweepCell(**fields)
+
+
+class TestRunKvSweep:
+    def test_grid_is_row_major_by_eta(self):
+        cells = run_kv_sweep(
+            BASE, [0.2, 0.5], ["Last+CI_med", "Last+JAC_med"], workers=1
+        )
+        assert [(c.eta, c.detector_id) for c in cells] == [
+            (0.2, "Last+CI_med"),
+            (0.2, "Last+JAC_med"),
+            (0.5, "Last+CI_med"),
+            (0.5, "Last+JAC_med"),
+        ]
+        for cell in cells:
+            assert cell.ops > 0
+            assert 0.0 <= cell.failed_fraction <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_kv_sweep(BASE, [], ["Last+CI_med"])
+        with pytest.raises(ValueError):
+            run_kv_sweep(BASE, [0.1], [])
+        with pytest.raises(ValueError):
+            run_kv_sweep(BASE, [-1.0], ["Last+CI_med"])
+        with pytest.raises(ValueError):
+            run_kv_sweep(BASE, [0.1], ["NotA+Detector"])
+
+    def test_cells_are_deterministic(self):
+        first = run_kv_sweep(BASE, [0.2], ["Last+CI_med"])
+        second = run_kv_sweep(BASE, [0.2], ["Last+CI_med"])
+        assert [c.to_dict() for c in first] == [c.to_dict() for c in second]
+
+
+class TestRendering:
+    def test_table_has_one_row_per_cell(self):
+        cells = [_cell(eta=0.1), _cell(eta=0.5, promotion_delay_s=None,
+                                       td_mean_s=None)]
+        table = format_kv_sweep(cells)
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(cells)
+        assert "Last+CI_med" in table
+
+    def test_heatmap_covers_grid_and_scales_shades(self):
+        cells = [
+            _cell(eta=0.1, unavailability_s=10.0),
+            _cell(eta=0.5, unavailability_s=0.0),
+            _cell(eta=0.1, detector_id="Arima+CI_low", unavailability_s=5.0),
+            _cell(eta=0.5, detector_id="Arima+CI_low", unavailability_s=10.0),
+        ]
+        art = render_heatmap(cells, "unavailability_s")
+        lines = art.splitlines()
+        assert lines[0].startswith("heatmap: unavailability_s")
+        # One row per detector plus header and eta axis.
+        assert len(lines) == 2 + 2
+        row = next(line for line in lines if line.startswith("Last+CI_med"))
+        shades = row.split("|")[1]
+        assert shades[0] == "@" and shades[1] == " "  # max and zero
+
+    def test_heatmap_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            render_heatmap([_cell()], "no_such_metric")
+        assert "unavailability_s" in HEATMAP_METRICS
+
+    def test_leaderboard_ranks_by_unavailability_first(self):
+        cells = [
+            _cell(detector_id="Bad", unavailability_s=9.0),
+            _cell(detector_id="Good", unavailability_s=1.0),
+            _cell(detector_id="Good", eta=0.5, unavailability_s=1.0),
+        ]
+        rows = leaderboard(cells)
+        assert [row["detector_id"] for row in rows] == ["Good", "Bad"]
+        assert rows[0]["cells"] == 2
+        assert rows[0]["unavailability_s"] == 2.0
+        text = format_leaderboard(rows)
+        assert text.splitlines()[2].lstrip().startswith("1")
+
+    def test_sweep_to_dict_is_json_able(self):
+        cells = [_cell()]
+        doc = sweep_to_dict(BASE, cells)
+        encoded = json.loads(json.dumps(doc))
+        assert encoded["config"]["seed"] == BASE.seed
+        assert len(encoded["cells"]) == 1
+        assert encoded["leaderboard"][0]["detector_id"] == "Last+CI_med"
+
+
+class TestCli:
+    def test_kv_sweep_command_end_to_end(self, tmp_path, capsys):
+        output = tmp_path / "sweep.json"
+        code = main([
+            "kv-sweep", "--etas", "0.2", "--detectors", "Last+CI_med",
+            "--duration", "20", "--seed", "4", "--clients", "1",
+            "--output", str(output),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "heatmap:" in printed
+        assert "Last+CI_med" in printed
+        document = json.loads(output.read_text())
+        assert len(document["cells"]) == 1
+        assert document["cells"][0]["detector_id"] == "Last+CI_med"
+
+    def test_kv_sweep_rejects_bad_detector(self, capsys):
+        assert main(["kv-sweep", "--detectors", "Nope+CI_med",
+                     "--etas", "0.2", "--duration", "20"]) == 2

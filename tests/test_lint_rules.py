@@ -36,6 +36,9 @@ CORPUS = {
     "sample-array-narrowing": (
         "metrics/positive.py", "metrics/negative.py"
     ),
+    "detector-bank-construction": (
+        "bank/positive.py", "bank/negative.py"
+    ),
 }
 
 
