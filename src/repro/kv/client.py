@@ -78,6 +78,11 @@ class _ActiveOp:
     start: float
     attempts: int = 0
     timeouts: int = 0
+    #: Offset from the believed primary the next transmit targets.  Runs
+    #: with ``attempts`` for timeout-driven rotation but resets to 0 when
+    #: a redirect installs a strictly newer view, so the retransmit goes
+    #: straight to the primary the redirect named.
+    rotation: int = 0
 
 
 class KvClientLayer(Layer):
@@ -160,18 +165,18 @@ class KvClientLayer(Layer):
         )
         self._transmit()
 
-    def _target(self, attempt: int) -> str:
+    def _target(self, rotation: int) -> str:
         anchor = self.primary if self.primary is not None else self.nodes[0]
         try:
             base = self.nodes.index(anchor)
         except ValueError:
             base = 0
-        return self.nodes[(base + attempt) % len(self.nodes)]
+        return self.nodes[(base + rotation) % len(self.nodes)]
 
     def _transmit(self) -> None:
         active = self._active
         assert active is not None and self._op_timer is not None
-        target = self._target(active.attempts)
+        target = self._target(active.rotation)
         if active.op == "get":
             payload: Dict[str, Any] = {"key": active.key, "uid": active.uid}
             kind = KV_GET
@@ -194,6 +199,7 @@ class KvClientLayer(Layer):
             return
         active.timeouts += 1
         active.attempts += 1
+        active.rotation += 1
         if active.attempts > self.spec.max_retries:
             self._finish(ok=False, error="timeout")
             return
@@ -257,10 +263,20 @@ class KvClientLayer(Layer):
                 self._observe(active.key, version)
             self._finish(ok=True, stale=stale, version=version)
         else:  # KV_REDIRECT
+            prev_epoch = self.epoch
             self._adopt_view(message.payload)
             if self.primary is None:
                 return  # No primary known: let the op timeout drive retries.
             active.attempts += 1
+            if self.epoch > prev_epoch:
+                # The redirect installed a newer view: go straight to the
+                # primary it named instead of continuing the rotation.
+                active.rotation = 0
+            else:
+                # A stale node re-naming the view we already hold (e.g.
+                # the primary is dead but undetected): rotate onward so
+                # we do not ping-pong between the same two replicas.
+                active.rotation += 1
             if active.attempts > self.spec.max_retries:
                 self._finish(ok=False, error="timeout")
             else:

@@ -410,13 +410,13 @@ class AsyncKvClient:
             self.epoch = epoch
             self.primary = payload["primary"]
 
-    def _target(self, attempt: int) -> str:
+    def _target(self, rotation: int) -> str:
         anchor = self.primary if self.primary is not None else self.order[0]
         try:
             base = self.order.index(anchor)
         except ValueError:
             base = 0
-        return self.order[(base + attempt) % len(self.order)]
+        return self.order[(base + rotation) % len(self.order)]
 
     async def _request(
         self, kind: str, payload: Dict[str, Any], *, ok_kind: str
@@ -428,8 +428,9 @@ class AsyncKvClient:
         payload = dict(payload)
         payload["uid"] = uid
         attempt = 0
+        rotation = 0
         while attempt <= self.max_retries:
-            target = self._target(attempt)
+            target = self._target(rotation)
             waiter: asyncio.Future = asyncio.get_running_loop().create_future()
             self._waiters[uid] = waiter
             self._transport.sendto(
@@ -447,14 +448,19 @@ class AsyncKvClient:
                 reply = await asyncio.wait_for(waiter, timeout=self.op_timeout)
             except asyncio.TimeoutError:
                 attempt += 1
+                rotation += 1
                 self.retries_total += 1
                 continue
             finally:
                 self._waiters.pop(uid, None)
             if reply.kind == ok_kind:
                 return reply.payload
-            # Redirect: adopt the newer view and retry immediately.
+            # Redirect: adopt the view and retry immediately — straight at
+            # the named primary when the view is strictly newer, onward in
+            # the rotation when a stale node re-named the view we hold.
+            prev_epoch = self.epoch
             self._adopt_view(reply.payload)
+            rotation = 0 if self.epoch > prev_epoch else rotation + 1
             attempt += 1
             self.retries_total += 1
         raise KvClientError(

@@ -155,17 +155,33 @@ class KvNodeCore:
             return [self._redirect(source, uid)]
         done = self._completed.get(uid)
         if done is not None:
-            # Idempotent retry of an already-applied write: re-ack with
-            # the original version (the first ack was lost in flight).
+            # Idempotent retry of an already-acknowledged write: re-ack
+            # with the original version (the first ack was lost in
+            # flight).  Only acknowledged writes live in ``_completed``,
+            # so this fast path can never release an ack that the
+            # write_concern gate is still withholding.
             return [
                 (source, KV_SET_OK, {"uid": uid, "key": payload["key"],
                                      "version": encode_version(done)})
+            ]
+        pending = self._pending.get(uid)
+        if pending is not None:
+            # Retry of a write still awaiting backup acks: the client ack
+            # stays withheld.  Re-drive replication to the peers that have
+            # not acked — the original kv-rep may have been lost, and only
+            # their acks can release the client.
+            pending.client = source
+            return [
+                (peer, KV_REP, {"key": pending.key, "value": pending.value,
+                                "version": encode_version(pending.version),
+                                "uid": uid})
+                for peer in self.peers
+                if peer not in pending.acks
             ]
         key, value = payload["key"], payload["value"]
         self.write_seq += 1
         version = (self.epoch, self.write_seq)
         self.store.apply(key, value, version)
-        self._remember_completed(uid, version)
         self.served_writes += 1
         self._emit("kv-write", key=key, version=version)
         out: List[Outgoing] = [
@@ -174,6 +190,7 @@ class KvNodeCore:
             for peer in self.peers
         ]
         if self.write_concern == 0:
+            self._remember_completed(uid, version)
             out.append((source, KV_SET_OK, {"uid": uid, "key": key,
                                             "version": encode_version(version)}))
         else:
@@ -200,12 +217,17 @@ class KvNodeCore:
     def handle_rep(self, source: str, payload: Dict[str, Any]) -> List[Outgoing]:
         """A replication record from a primary: apply by version, ack."""
         version = decode_version(payload["version"])
-        self.store.apply(payload["key"], payload["value"], version)
-        # Ack unconditionally: the store's monotonicity check makes
-        # duplicate and superseded records harmless, and the primary only
-        # matches acks against its pending table by uid.
+        key = payload["key"]
+        applied = self.store.apply(key, payload["value"], version)
+        if not applied and not self.store.has_seen(key, version):
+            # A superseded record this backup never held: acking it would
+            # let a deposed-but-unaware primary count rejections towards
+            # its write concern and release a client ack for a version
+            # durable nowhere.  Retransmits of records applied earlier
+            # (has_seen) stay harmless and are re-acked below.
+            return []
         return [
-            (source, KV_REP_ACK, {"uid": payload["uid"], "key": payload["key"],
+            (source, KV_REP_ACK, {"uid": payload["uid"], "key": key,
                                   "version": payload["version"]})
         ]
 
@@ -218,6 +240,7 @@ class KvNodeCore:
         if len(pending.acks) < self.write_concern:
             return []
         del self._pending[payload["uid"]]
+        self._remember_completed(payload["uid"], pending.version)
         return [
             (pending.client, KV_SET_OK, {"uid": payload["uid"], "key": pending.key,
                                          "version": encode_version(pending.version)})

@@ -34,7 +34,7 @@ hub's dirty notifications; both sinks default to ``None`` at nil cost.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.history import WindowedQosStore
@@ -154,7 +154,11 @@ class MonitorDaemon:
         # Peer table: endpoint name -> last UDP (host, port) it sent from.
         # Auto-learned from inbound traffic, or pinned via add_peer();
         # this is what makes the daemon's outbound path (_send) work.
+        # Auto-learning trusts the datagram's claimed source name — fine
+        # on a loopback research harness, spoofable on a shared network —
+        # so pinned names are exempt from it (see add_peer).
         self._peers: Dict[str, Tuple[str, int]] = {}
+        self._pinned_peers: Set[str] = set()
         # Optional live KV failover controller (repro.kv.live); when set,
         # the exporter renders its per-application series.
         self.kv_controller: Optional[Any] = None
@@ -301,8 +305,12 @@ class MonitorDaemon:
             return
         # Learn (or refresh) the sender's service address: replies and
         # any future outbound traffic go to the last address the peer
-        # spoke from, the classic UDP NAT-friendly convention.
-        self._peers[message.source] = (addr[0], addr[1])
+        # spoke from, the classic UDP NAT-friendly convention.  Names
+        # pinned via add_peer() are exempt — their claimed source is
+        # unauthenticated, so a spoofer could otherwise redirect the
+        # peer's outbound traffic (control-acks, kv-view broadcasts).
+        if message.source not in self._pinned_peers:
+            self._peers[message.source] = (addr[0], addr[1])
         self.dispatch(message)
 
     def dispatch(self, message: Datagram) -> None:
@@ -371,8 +379,16 @@ class MonitorDaemon:
     # Outbound traffic (peer table)
     # ------------------------------------------------------------------
     def add_peer(self, name: str, addr: Tuple[str, int]) -> None:
-        """Pin the UDP address of ``name`` (normally auto-learned)."""
+        """Pin the UDP address of ``name``, disabling auto-learning for it.
+
+        Unpinned names are auto-learned from inbound traffic, which
+        trusts the datagram's claimed source — acceptable on loopback,
+        spoofable on a shared network.  A pinned name keeps this address
+        until the next ``add_peer`` call, so a spoofed source cannot
+        redirect the peer's outbound traffic.
+        """
         self._peers[name] = (addr[0], addr[1])
+        self._pinned_peers.add(name)
 
     def peer_addr(self, name: str) -> Optional[Tuple[str, int]]:
         """The last-known UDP address of ``name``, if any."""

@@ -8,10 +8,12 @@ record and QoS summary), and with ``write_concern`` covering every
 backup no acknowledged write is lost across a single failover.
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.kv.client import KvClientLayer
 from repro.kv.failover import FailoverState, ViewChange
 from repro.kv.metrics import (
     compute_summary,
@@ -34,6 +36,7 @@ from repro.kv.node import (
 from repro.kv.sim import KvSimConfig, run_kv_sim
 from repro.kv.store import VersionedStore, decode_version, encode_version
 from repro.kv.workload import WorkloadSpec
+from repro.net.message import Datagram
 
 pytestmark = pytest.mark.kv
 
@@ -134,6 +137,54 @@ class TestKvNodeCore:
         assert decode_version(out[0][2]["version"]) == (0, 1)
         assert cores["a"].store.version("k") == (0, 1)  # not re-applied
 
+    def test_retried_pending_set_redrives_replication_without_ack(self):
+        # A retry of a write still awaiting backup acks must NOT take the
+        # idempotent fast path: acking it would release a write with zero
+        # backup acks, which is lost if the primary is then deposed.
+        # Instead the primary re-sends kv-rep to the peers that have not
+        # acked (the original replication may have been lost).
+        cores = _mesh(["a", "b", "c"], write_concern=2)
+        out = cores["a"].handle("client", KV_SET,
+                                {"key": "k", "value": "v", "uid": "u1"})
+        reps = {dst: payload for dst, _, payload in out}
+        # b acks; the replication to c is lost in flight.
+        (ack_b,) = cores["b"].handle("a", KV_REP, reps["b"])
+        assert cores["a"].handle("b", KV_REP_ACK, ack_b[2]) == []
+        # The client times out and retries the same uid.
+        retry = cores["a"].handle("client", KV_SET,
+                                  {"key": "k", "value": "v", "uid": "u1"})
+        assert [(dst, kind) for dst, kind, _ in retry] == [("c", KV_REP)]
+        assert cores["a"].pending_writes == 1
+        # The re-driven replication completes the write concern.
+        (ack_c,) = cores["c"].handle("a", KV_REP, retry[0][2])
+        (release,) = cores["a"].handle("c", KV_REP_ACK, ack_c[2])
+        assert release[0] == "client" and release[1] == KV_SET_OK
+        assert decode_version(release[2]["version"]) == (0, 1)
+        # Only now is the uid eligible for the idempotent re-ack.
+        again = cores["a"].handle("client", KV_SET,
+                                  {"key": "k", "value": "v", "uid": "u1"})
+        assert [(dst, kind) for dst, kind, _ in again] == [("client", KV_SET_OK)]
+
+    def test_superseded_replication_is_not_acked(self):
+        # A backup whose store already holds a newer epoch's value must
+        # not ack a deposed primary's older record: the rejection would
+        # otherwise count towards the stale primary's write concern and
+        # release a client ack for a version durable nowhere.
+        cores = _mesh(["a", "b", "c"], write_concern=2)
+        view = {"epoch": 1, "primary": "b"}
+        cores["b"].handle("controller", KV_VIEW, view)
+        cores["b"].handle("client", KV_SET,
+                          {"key": "k", "value": "new", "uid": "u2"})
+        stale_rep = {"key": "k", "value": "old",
+                     "version": encode_version((0, 7)), "uid": "u1"}
+        assert cores["b"].handle("a", KV_REP, stale_rep) == []
+        # A retransmit of a record the backup once applied is re-acked.
+        rep = {"key": "k2", "value": "v",
+               "version": encode_version((0, 1)), "uid": "u3"}
+        (first,) = cores["c"].handle("a", KV_REP, rep)
+        (again,) = cores["c"].handle("a", KV_REP, rep)
+        assert first[1] == again[1] == KV_REP_ACK
+
     def test_view_adoption_promotes_and_demotes(self):
         cores = _mesh(["a", "b"], write_concern=1)
         cores["a"].handle("client", KV_SET,
@@ -160,6 +211,78 @@ class TestKvNodeCore:
     def test_write_concern_validation(self):
         with pytest.raises(ValueError):
             KvNodeCore("a", ["a", "b"], write_concern=2)
+
+
+# ----------------------------------------------------------------------
+# Client retry/redirect targeting
+# ----------------------------------------------------------------------
+class _StubTimer:
+    def __init__(self):
+        self.delay = None
+
+    def arm(self, delay):
+        self.delay = delay
+
+    def cancel(self):
+        self.delay = None
+
+
+class _StubSim:
+    now = 0.0
+
+
+class _StubProcess:
+    address = "client0"
+
+    def __init__(self):
+        self.sim = _StubSim()
+
+    def timer(self, callback, name=""):
+        return _StubTimer()
+
+
+def _stub_client(nodes):
+    """A KvClientLayer wired to a stub process, capturing what it sends."""
+    client = KvClientLayer(
+        nodes, WorkloadSpec(read_fraction=0.0), np.random.default_rng(0)
+    )
+    sent = []
+    client._process = _StubProcess()
+    client._send_down = sent.append
+    client.on_attach()
+    return client, sent
+
+
+class TestKvClientTargeting:
+    def test_redirect_to_newer_view_targets_named_primary(self):
+        client, sent = _stub_client(["n0", "n1", "n2"])
+        client._begin_op()
+        first = sent[-1]
+        assert first.destination == "n0"
+        client.deliver(Datagram(source="n0", destination="client0",
+                                kind=KV_REDIRECT,
+                                payload={"uid": first.payload["uid"],
+                                         "epoch": 1, "primary": "n1"}))
+        # The retransmit goes straight to the primary the redirect named,
+        # not to the next node in the timeout rotation.
+        assert sent[-1].destination == "n1"
+
+    def test_same_view_redirect_rotates_onward(self):
+        client, sent = _stub_client(["n0", "n1", "n2"])
+        client.epoch = 1
+        client.primary = "n1"
+        client._begin_op()
+        assert sent[-1].destination == "n1"
+        client._on_op_timeout()  # believed primary timed out: rotate
+        assert sent[-1].destination == "n2"
+        uid = sent[-1].payload["uid"]
+        # n2 re-names the view the client already holds (dead primary,
+        # not yet detected): rotate onward rather than ping-ponging back.
+        client.deliver(Datagram(source="n2", destination="client0",
+                                kind=KV_REDIRECT,
+                                payload={"uid": uid, "epoch": 1,
+                                         "primary": "n1"}))
+        assert sent[-1].destination == "n0"
 
 
 # ----------------------------------------------------------------------

@@ -12,7 +12,7 @@ import asyncio
 import pytest
 
 from repro.net.message import Datagram
-from repro.net.udp import decode_datagram
+from repro.net.udp import decode_datagram, encode_datagram
 from repro.service import (
     AsyncioScheduler,
     HeartbeatEmitter,
@@ -141,6 +141,32 @@ class TestDaemonOutbound:
             finally:
                 await daemon.stop()
                 transport.close()
+
+        run(main())
+
+    def test_pinned_peer_ignores_spoofed_source_address(self):
+        async def main():
+            daemon = MonitorDaemon(port=0, http_port=None, eta=0.5,
+                                   detector_ids=["Last+CI_med"])
+            await daemon.start()
+            try:
+                pinned = ("127.0.0.1", 40001)
+                daemon.add_peer("ep1", pinned)
+                # A datagram merely *claiming* to be ep1 from another
+                # address must not redirect ep1's outbound traffic.
+                spoof = Datagram(source="ep1", destination="monitor",
+                                 kind="heartbeat", seq=1, timestamp=0.0)
+                daemon._on_datagram(encode_datagram(spoof),
+                                    ("127.0.0.1", 55555))
+                assert daemon.peer_addr("ep1") == pinned
+                # Unpinned names keep the auto-learning convention.
+                other = Datagram(source="ep2", destination="monitor",
+                                 kind="heartbeat", seq=1, timestamp=0.0)
+                daemon._on_datagram(encode_datagram(other),
+                                    ("127.0.0.1", 55556))
+                assert daemon.peer_addr("ep2") == ("127.0.0.1", 55556)
+            finally:
+                await daemon.stop()
 
         run(main())
 
