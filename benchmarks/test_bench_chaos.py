@@ -1,0 +1,59 @@
+"""Bench for the chaos shim (scripts/bench_chaos.py).
+
+Regenerates no paper artifact — it guards the cost contract of
+docs/robustness.md: a :class:`repro.chaos.ChaosIntake` carrying an
+empty fault plan adds less than 10% to the live loopback intake
+latency (with a small absolute noise floor for the loopback jitter),
+so the shim is cheap enough to stay attached while reproducing an
+incident.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_chaos import (  # noqa: E402
+    NOISE_FLOOR_MS,
+    OVERHEAD_BUDGET_RATIO,
+    format_report,
+    run_benchmark,
+)
+
+pytestmark = [pytest.mark.chaos, pytest.mark.network]
+
+
+@pytest.fixture(scope="module")
+def chaos_record(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("chaos")
+    record = run_benchmark(duration=1.5, repeats=3)
+    out = out_dir / "BENCH_chaos.json"
+    out.write_text(json.dumps(record, indent=2))
+    print(f"\n{format_report(record)}")
+    print(f"wrote {out}")
+    return record
+
+
+def test_empty_plan_overhead_stays_under_budget(chaos_record):
+    assert chaos_record["heartbeats_measured"] > 100
+    assert chaos_record["within_budget"], (
+        f"empty-plan shim overhead {chaos_record['overhead_ratio']:+.1%} "
+        f"({chaos_record['overhead_delta_ms']:+.4f}ms) exceeds the "
+        f"{OVERHEAD_BUDGET_RATIO:.0%} contract "
+        f"(noise floor {NOISE_FLOOR_MS}ms)"
+    )
+
+
+def test_shim_unit_cost_is_microseconds(chaos_record):
+    # The added hot-path work (decode + decide + deliver) is a few
+    # microseconds per datagram — two orders of magnitude below the
+    # loopback intake latency it rides on.
+    assert chaos_record["shim_unit_cost_us"] < 100.0
+
+
+def test_latency_probe_measured_both_arms(chaos_record):
+    assert chaos_record["bare_intake_mean_ms"] > 0
+    assert chaos_record["shim_intake_mean_ms"] > 0

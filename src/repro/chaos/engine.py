@@ -1,0 +1,217 @@
+"""The deterministic fault-decision engine shared by sim and live paths.
+
+:class:`ChaosEngine` turns a :class:`~repro.chaos.plan.FaultPlan` into
+per-datagram :class:`Decision` objects.  Determinism contract: a decision
+is a pure function of ``(plan.seed, source, destination)`` and the number
+of prior decisions taken for that ordered pair — each pair owns a
+dedicated PCG64 stream seeded from the plan seed and the CRC32 of the
+pair names (Python's ``hash()`` is salted per process, so it is unusable
+here).  Replaying the same traffic sequence through the same plan yields
+bit-identical fault decisions, on either side of the sim/live split.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.chaos.plan import FaultEvent, FaultPlan
+
+
+@dataclass
+class Decision:
+    """What the plan says should happen to one datagram.
+
+    ``copies`` is the total number of transmissions (1 = normal).  A
+    dropped datagram has ``copies == 0``.  ``hold_until`` is an absolute
+    engine-relative release time used by ``pause`` (inbound datagrams for
+    a paused process are buffered until the pause window closes).
+    """
+
+    drop: bool = False
+    copies: int = 1
+    extra_delay: float = 0.0
+    skew: float = 0.0
+    corrupt: bool = False
+    truncate: bool = False
+    hold_until: Optional[float] = None
+    faults: Tuple[str, ...] = ()
+
+    @property
+    def touched(self) -> bool:
+        """Whether any fault applied to this datagram."""
+        return bool(self.faults)
+
+
+@dataclass
+class ChaosStats:
+    """Counters of applied faults, by effect."""
+
+    decisions: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    corrupted: int = 0
+    truncated: int = 0
+    skewed: int = 0
+    held: int = 0
+    undecodable: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def count_kind(self, kind: str) -> None:
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decisions": self.decisions,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "corrupted": self.corrupted,
+            "truncated": self.truncated,
+            "skewed": self.skewed,
+            "held": self.held,
+            "undecodable": self.undecodable,
+            "by_kind": dict(sorted(self.by_kind.items())),
+        }
+
+
+class ChaosEngine:
+    """Evaluates a fault plan against a stream of datagram metadata.
+
+    ``time_origin`` anchors the plan's relative timeline to the caller's
+    clock: the sim runner leaves it at 0 (sim time starts at 0), the live
+    runner sets it to ``scheduler.now`` at attach time.
+    """
+
+    def __init__(self, plan: FaultPlan, *, time_origin: float = 0.0) -> None:
+        self.plan = plan
+        self.time_origin = float(time_origin)
+        self.stats = ChaosStats()
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(plan.events, key=lambda e: (e.start, e.end, e.kind))
+        )
+        self._rngs: Dict[Tuple[str, str], np.random.Generator] = {}
+
+    # ------------------------------------------------------------------
+    # Determinism plumbing
+    # ------------------------------------------------------------------
+    def _rng(self, source: str, destination: str) -> np.random.Generator:
+        key = (source, destination)
+        rng = self._rngs.get(key)
+        if rng is None:
+            seed = np.random.SeedSequence((
+                self.plan.seed,
+                zlib.crc32(source.encode("utf-8")),
+                zlib.crc32(destination.encode("utf-8")),
+            ))
+            rng = np.random.Generator(np.random.PCG64(seed))
+            self._rngs[key] = rng
+        return rng
+
+    @staticmethod
+    def _hits(rng: np.random.Generator, rate: float) -> bool:
+        """Sample a rate gate; a rate of 1.0 consumes no randomness."""
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return bool(rng.random() < rate)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(self, now: float, source: str, destination: str) -> Decision:
+        """Decide the fate of one datagram sent at absolute time ``now``."""
+        rel_now = now - self.time_origin
+        self.stats.decisions += 1
+        decision = Decision()
+        faults: list = []
+        rng: Optional[np.random.Generator] = None
+        for event in self._events:
+            if rel_now < event.start:
+                break  # events are start-sorted; nothing later is active
+            if not event.active(rel_now) or not event.matches(source, destination):
+                continue
+            if rng is None:
+                rng = self._rng(source, destination)
+            kind = event.kind
+            if kind == "pause":
+                faults.append(kind)
+                if source == event.source:
+                    decision.drop = True
+                else:
+                    release = self.time_origin + event.end
+                    if decision.hold_until is None or release > decision.hold_until:
+                        decision.hold_until = release
+                continue
+            if not self._hits(rng, event.rate):
+                continue
+            faults.append(kind)
+            if kind in ("partition", "loss-burst"):
+                decision.drop = True
+            elif kind == "duplicate":
+                decision.copies = max(decision.copies, event.copies)
+            elif kind == "reorder":
+                decision.extra_delay += float(rng.uniform(0.0, event.magnitude))
+            elif kind == "delay-spike":
+                decision.extra_delay += event.magnitude
+            elif kind == "clock-skew":
+                decision.skew += event.magnitude
+            elif kind == "corrupt":
+                decision.corrupt = True
+            elif kind == "truncate":
+                decision.truncate = True
+        decision.faults = tuple(faults)
+        if decision.drop:
+            decision.copies = 0
+            self.stats.dropped += 1
+        else:
+            if decision.copies > 1:
+                self.stats.duplicated += decision.copies - 1
+            if decision.extra_delay > 0:
+                self.stats.delayed += 1
+            if decision.corrupt:
+                self.stats.corrupted += 1
+            if decision.truncate:
+                self.stats.truncated += 1
+            if decision.skew:
+                self.stats.skewed += 1
+            if decision.hold_until is not None:
+                self.stats.held += 1
+        for kind in decision.faults:
+            self.stats.count_kind(kind)
+        return decision
+
+    def mangle(self, raw: bytes, decision: Decision, source: str,
+               destination: str) -> bytes:
+        """Apply corruption/truncation from ``decision`` to wire bytes."""
+        if not raw or not (decision.corrupt or decision.truncate):
+            return raw
+        rng = self._rng(source, destination)
+        data = bytearray(raw)
+        if decision.truncate:
+            keep = int(rng.integers(0, len(data)))
+            data = data[:keep]
+        if decision.corrupt and data:
+            flips = max(1, len(data) // 16)
+            positions = rng.integers(0, len(data), size=flips)
+            masks = rng.integers(1, 256, size=flips)
+            for position, mask in zip(positions, masks):
+                data[int(position)] ^= int(mask)
+        return bytes(data)
+
+    def report(self) -> Dict[str, object]:
+        """Plan identity plus applied-fault counters."""
+        return {
+            "plan": self.plan.name,
+            "seed": self.plan.seed,
+            "events": len(self._events),
+            "stats": self.stats.to_dict(),
+        }
+
+
+__all__ = ["ChaosEngine", "ChaosStats", "Decision"]

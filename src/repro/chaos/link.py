@@ -1,0 +1,131 @@
+"""Sim-side fault injection: :class:`ChaosLink` over fair-lossy links.
+
+A :class:`ChaosLink` wraps one :class:`~repro.net.link.FairLossyLink`
+with the same ``send(datagram)`` surface and consults a shared
+:class:`~repro.chaos.engine.ChaosEngine` before every transmission.
+Fault semantics mirror the live shim exactly:
+
+* drops happen before the link (the datagram never enters the loss/delay
+  models, so link statistics still describe the *underlying* channel);
+* extra delay defers the ``link.send`` call itself, composing with the
+  link's own sampled delay;
+* duplicates are independent transmissions (each samples its own delay —
+  real duplicated UDP packets take independent paths);
+* corruption/truncation round-trips the datagram through the wire
+  encoding and :func:`~repro.net.udp.decode_datagram`; undecodable
+  results are dropped, exactly as the hardened live receive path drops
+  them;
+* clock skew rewrites the sender timestamp field.
+
+:func:`install_chaos` attaches one engine to a whole
+:class:`~repro.neko.system.SimulatedNetwork` via its outbound filter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.chaos.engine import ChaosEngine, Decision
+from repro.neko.system import SimulatedNetwork
+from repro.net.link import FairLossyLink
+from repro.net.message import Datagram
+from repro.net.udp import DatagramDecodeError, decode_datagram, encode_datagram
+
+
+class ChaosLink:
+    """A fault-injecting façade over one unidirectional sim link."""
+
+    def __init__(self, engine: ChaosEngine, link: FairLossyLink) -> None:
+        self._engine = engine
+        self._link = link
+
+    @property
+    def link(self) -> FairLossyLink:
+        """The wrapped fair-lossy link."""
+        return self._link
+
+    @property
+    def stats(self):
+        """The wrapped link's statistics (chaos drops never reach it)."""
+        return self._link.stats
+
+    def connect(self, receiver) -> None:
+        """Attach the delivery callback on the wrapped link."""
+        self._link.connect(receiver)
+
+    def send(self, datagram: Datagram) -> Optional[float]:
+        """Send through the plan; returns the link delay for an immediate,
+        single, undelayed transmission and ``None`` otherwise."""
+        now = self._link.sim.now
+        decision = self._engine.decide(now, datagram.source, datagram.destination)
+        if decision.drop:
+            return None
+        message = self._apply_payload_faults(datagram, decision)
+        if message is None:
+            return None
+        extra = decision.extra_delay
+        if decision.hold_until is not None:
+            extra = max(extra, decision.hold_until - now)
+        if extra <= 0 and decision.copies == 1:
+            return self._link.send(message)
+        for _ in range(decision.copies):
+            if extra > 0:
+                self._link.sim.schedule(
+                    extra,
+                    lambda msg=message: self._link.send(msg),
+                    name=f"chaos:{message.kind}",
+                )
+            else:
+                self._link.send(message)
+        return None
+
+    def _apply_payload_faults(
+        self, datagram: Datagram, decision: Decision
+    ) -> Optional[Datagram]:
+        if decision.skew and datagram.timestamp is not None:
+            datagram = dataclasses.replace(
+                datagram, timestamp=datagram.timestamp + decision.skew
+            )
+        if not (decision.corrupt or decision.truncate):
+            return datagram
+        raw = self._engine.mangle(
+            encode_datagram(datagram), decision,
+            datagram.source, datagram.destination,
+        )
+        try:
+            return decode_datagram(raw)
+        except DatagramDecodeError:
+            # The live receive path drops undecodable bytes; mirror it.
+            self._engine.stats.undecodable += 1
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChaosLink(plan={self._engine.plan.name!r}, link={self._link!r})"
+
+
+def install_chaos(network: SimulatedNetwork, engine: ChaosEngine) -> None:
+    """Route every datagram on ``network`` through ``engine``.
+
+    Each underlying link gets a lazily-created :class:`ChaosLink`; the
+    network's own link table (and thus its statistics and delay
+    recordings) is untouched.
+    """
+    wrappers: dict = {}
+
+    def outbound(link: FairLossyLink, message: Datagram) -> None:
+        wrapper = wrappers.get(id(link))
+        if wrapper is None:
+            wrapper = ChaosLink(engine, link)
+            wrappers[id(link)] = wrapper
+        wrapper.send(message)
+
+    network.set_outbound_filter(outbound)
+
+
+def uninstall_chaos(network: SimulatedNetwork) -> None:
+    """Restore direct delivery on ``network``."""
+    network.set_outbound_filter(None)
+
+
+__all__ = ["ChaosLink", "install_chaos", "uninstall_chaos"]

@@ -19,6 +19,9 @@ Usage (also via ``python -m repro``):
                           [--endpoint node-1] [--detectors all|id,...]
     repro kv-sweep        [--etas 0.1,0.5,1.0] [--detectors all|id,...]
                           [--duration 120] [--workers N] [--output kv.json]
+    repro chaos           (--plan plan.json | --add-channel)
+                          [--target sim|daemon|kv] [--duration S]
+                          [--save-plan PATH] [--output report.json]
 
 Every subcommand prints its table or figure in the layout of the paper
 (Tables 2-4, Figures 4-8) so terminal output can be compared directly.
@@ -278,6 +281,42 @@ def _build_parser() -> argparse.ArgumentParser:
     kv_sweep.add_argument("--output", default=None,
                           help="save the sweep (config, cells, leaderboard) "
                                "as JSON")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="replay a fault-injection scenario against the sim campaign, "
+             "the live loopback daemon, or a KV run (see docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--target", choices=("sim", "daemon", "kv"), default="sim",
+        help="what to inject the plan into (default: sim)",
+    )
+    chaos.add_argument("--plan", default=None, metavar="PATH",
+                       help="fault plan JSON to replay")
+    chaos.add_argument(
+        "--add-channel", action="store_true",
+        help="generate an ADD-channel adversary plan instead of loading one",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="override the plan seed (also seeds --add-channel)")
+    chaos.add_argument("--stabilization", type=float, default=20.0,
+                       help="ADD-channel stabilization time, seconds")
+    chaos.add_argument("--horizon", type=float, default=40.0,
+                       help="ADD-channel plan horizon, seconds")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="run length, seconds (default: horizon * 1.5, "
+                            "min 60 for sim/kv; 8 for daemon)")
+    chaos.add_argument("--eta", type=float, default=None,
+                       help="heartbeat period (default: 0.1 sim/kv, "
+                            "0.25 daemon)")
+    chaos.add_argument(
+        "--detectors", default=None,
+        help="comma-separated combination ids (default: Last+CI_med)",
+    )
+    chaos.add_argument("--save-plan", default=None, metavar="PATH",
+                       help="also write the effective plan JSON here")
+    chaos.add_argument("--output", default=None, metavar="PATH",
+                       help="save the scenario report as JSON")
 
     from repro.lint.cli import add_lint_parser
 
@@ -693,6 +732,97 @@ def _command_kv_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.chaos import (
+        FaultPlan,
+        add_channel_plan,
+        run_daemon_scenario,
+        run_kv_scenario,
+        run_sim_scenario,
+    )
+
+    if args.add_channel and args.plan:
+        print("error: --plan and --add-channel are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.add_channel:
+        plan = add_channel_plan(
+            seed=args.seed,
+            stabilization_time=args.stabilization,
+            horizon=args.horizon,
+        )
+    elif args.plan:
+        plan = FaultPlan.load(args.plan)
+        if args.seed:
+            plan = plan.with_seed(args.seed)
+    else:
+        print("error: give --plan PATH or --add-channel", file=sys.stderr)
+        return 2
+    if args.save_plan:
+        plan.save(args.save_plan)
+        print(f"saved plan to {args.save_plan}")
+    detectors = None
+    if args.detectors is not None:
+        try:
+            detectors = _parse_detectors(args.detectors)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(f"chaos: plan {plan.name!r} seed={plan.seed} "
+          f"({len(plan.events)} events, horizon {plan.horizon:g}s) "
+          f"-> target {args.target}")
+    if args.target == "sim":
+        report = run_sim_scenario(
+            plan,
+            duration=args.duration,
+            eta=args.eta if args.eta is not None else 0.1,
+            detector_ids=detectors,
+        )
+    elif args.target == "daemon":
+        report = run_daemon_scenario(
+            plan,
+            duration=args.duration if args.duration is not None else 8.0,
+            eta=args.eta if args.eta is not None else 0.25,
+            detector_ids=detectors,
+        )
+    else:
+        report = run_kv_scenario(
+            plan,
+            duration=args.duration,
+            eta=args.eta if args.eta is not None else 0.1,
+            detector_id=detectors[0] if detectors else "Last+CI_med",
+        )
+    stats = report["chaos"]["stats"]
+    print(f"chaos: survived={report['survived']} "
+          f"decisions={stats['decisions']} dropped={stats['dropped']} "
+          f"delayed={stats['delayed']} corrupted={stats['corrupted']}")
+    if args.target == "sim":
+        for detector_id, brief in sorted(report["qos"].items()):
+            print(f"  {detector_id}: mistakes={brief['mistakes']} "
+                  f"P_A={brief['empirical_p_a']:.6f}")
+    elif args.target == "daemon":
+        daemon = report["daemon"]
+        print(f"  daemon: heartbeats={daemon['heartbeats_total']} "
+              f"dropped={daemon['dropped_datagrams']} "
+              f"shed={daemon['shed_datagrams']}")
+        for name, endpoint in sorted(report["endpoints"].items()):
+            print(f"  {name}: heartbeats={endpoint['heartbeats']} "
+                  f"suspecting_at_end={endpoint['suspecting_at_end']}")
+    else:
+        summary = report["summary"]
+        print(f"  kv: unavailability={summary['unavailability']['total_s']:.3f}s "
+              f"lost_writes={summary['lost_writes']} "
+              f"views={report['views']}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"saved report to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "characterize": _command_characterize,
     "accuracy": _command_accuracy,
@@ -705,6 +835,7 @@ _COMMANDS = {
     "serve-heartbeat": _command_serve_heartbeat,
     "qos-history": _command_qos_history,
     "kv-sweep": _command_kv_sweep,
+    "chaos": _command_chaos,
 }
 
 

@@ -25,7 +25,10 @@ monitoring daemon's detector bank instead of a simulated one:
 from __future__ import annotations
 
 import asyncio
+import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.daemon import MonitorDaemon
@@ -43,7 +46,7 @@ from repro.kv.node import (
 )
 from repro.kv.store import Version, decode_version
 from repro.net.message import Datagram
-from repro.net.udp import decode_datagram, encode_datagram
+from repro.net.udp import DatagramDecodeError, decode_datagram, encode_datagram
 from repro.service.heartbeat import HeartbeatEmitter
 from repro.service.runtime import AsyncioScheduler
 
@@ -164,7 +167,7 @@ class LiveKvNode:
     def _on_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
         try:
             message = decode_datagram(data)
-        except (ValueError, KeyError):
+        except DatagramDecodeError:
             return
         if message.kind == "control-ack":
             # Monitor receipts must reach the emitter even mid-crash —
@@ -342,14 +345,40 @@ class AsyncKvClient:
         *,
         op_timeout: float = 0.5,
         max_retries: int = 8,
+        retry_backoff: float = 0.05,
+        retry_backoff_factor: float = 2.0,
+        retry_jitter: float = 0.2,
+        retry_seed: int = 0,
     ) -> None:
         if not order:
             raise ValueError("client needs at least one node")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff!r}")
+        if retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {retry_backoff_factor!r}"
+            )
+        if not 0.0 <= retry_jitter < 1.0:
+            raise ValueError(
+                f"retry_jitter must be in [0, 1), got {retry_jitter!r}"
+            )
         self.name = name
         self._addrs = dict(nodes)
         self.order = list(order)
         self.op_timeout = float(op_timeout)
         self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_factor = float(retry_backoff_factor)
+        self.retry_jitter = float(retry_jitter)
+        # Jittered timeout-retry spacing, seeded per client name: during
+        # a partition a herd of clients must not re-probe in lock-step.
+        self._retry_rng = np.random.Generator(
+            np.random.PCG64(
+                np.random.SeedSequence(
+                    (int(retry_seed), zlib.crc32(name.encode("utf-8")))
+                )
+            )
+        )
         self.epoch = 0
         self.primary: Optional[str] = self.order[0]
         self.high_version: Dict[str, Version] = {}
@@ -410,6 +439,24 @@ class AsyncKvClient:
             self.epoch = epoch
             self.primary = payload["primary"]
 
+    def _retry_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff before timeout retry ``attempt``.
+
+        Redirect retries stay immediate (the cluster answered); only
+        silence earns a growing pause, capped at one op timeout.
+        """
+        if self.retry_backoff <= 0:
+            return 0.0
+        delay = min(
+            self.retry_backoff * self.retry_backoff_factor ** (attempt - 1),
+            self.op_timeout,
+        )
+        if self.retry_jitter:
+            delay *= 1.0 + self.retry_jitter * float(
+                self._retry_rng.uniform(-1.0, 1.0)
+            )
+        return delay
+
     def _target(self, rotation: int) -> str:
         anchor = self.primary if self.primary is not None else self.order[0]
         try:
@@ -450,6 +497,10 @@ class AsyncKvClient:
                 attempt += 1
                 rotation += 1
                 self.retries_total += 1
+                delay = self._retry_delay(attempt)
+                if delay > 0:
+                    # fdlint: disable=clock-discipline (seeded jittered retry backoff; live-network-only client path, no simulated time flows here)
+                    await asyncio.sleep(delay)
                 continue
             finally:
                 self._waiters.pop(uid, None)
@@ -470,7 +521,7 @@ class AsyncKvClient:
     def _on_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
         try:
             message = decode_datagram(data)
-        except (ValueError, KeyError):
+        except DatagramDecodeError:
             return
         if message.kind == KV_VIEW:
             self._adopt_view(message.payload)

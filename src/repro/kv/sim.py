@@ -33,6 +33,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.link import install_chaos
+from repro.chaos.plan import FaultPlan
 from repro.fd.bank import make_detector_bank
 from repro.fd.combinations import parse_combination_id
 from repro.fd.heartbeat import Heartbeater
@@ -73,6 +76,9 @@ class KvSimConfig:
     #: tuples.  ``None`` selects the default single primary crash at 40%
     #: of the run, restored at 70%.
     crashes: Optional[Tuple[Tuple[int, float, float], ...]] = None
+    #: Optional chaos scenario injected into every link of the run.
+    #: The plan timeline is anchored at sim time 0.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -139,6 +145,8 @@ class KvSimResult:
     records: List[OpRecord]
     views: List[Tuple[float, ViewChange]]
     primary_crash_times: List[float]
+    #: Fault-injection report when the config carried a ``fault_plan``.
+    chaos: Optional[Dict[str, Any]] = None
 
     def canonical_dict(self) -> Dict[str, Any]:
         """Deterministic JSON-able digest of the entire run."""
@@ -177,6 +185,11 @@ def run_kv_sim(config: KvSimConfig) -> KvSimResult:
                 network.set_link_profile(
                     source, destination, profile, streams, record_delays=False
                 )
+
+    chaos_engine: Optional[ChaosEngine] = None
+    if config.fault_plan is not None:
+        chaos_engine = ChaosEngine(config.fault_plan)
+        install_chaos(network, chaos_engine)
 
     # Controller: one detector per node, each writing suspicion events
     # into that node's own event log (combination ids collide across
@@ -268,6 +281,7 @@ def run_kv_sim(config: KvSimConfig) -> KvSimResult:
         records=records,
         views=views,
         primary_crash_times=primary_crash_times,
+        chaos=chaos_engine.report() if chaos_engine is not None else None,
     )
 
 

@@ -132,6 +132,21 @@ class LintConfig:
     #: to anything containing "combination".
     bank_id_names: Tuple[str, ...] = ("detector_ids", "detectors")
 
+    #: error-swallowing: identifier fragments that mark an assignment
+    #: target (or called function) inside a broad ``except`` as error
+    #: accounting — incrementing ``*_errors_total``, bumping a restart
+    #: counter, recording a degradation.
+    error_counter_fragments: Tuple[str, ...] = (
+        "total",
+        "count",
+        "dropped",
+        "errors",
+        "failures",
+        "degrad",
+        "restart",
+        "shed",
+    )
+
     #: Extra per-run suppressions (rule ids) applied before reporting.
     ignore: Tuple[str, ...] = field(default=())
 

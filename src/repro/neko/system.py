@@ -50,6 +50,9 @@ class SimulatedNetwork(NetworkBackend):
         self._receivers: Dict[str, Callable[[Datagram], None]] = {}
         self._links: Dict[Tuple[str, str], FairLossyLink] = {}
         self._default_factory: Optional[Callable[[], FairLossyLink]] = None
+        self._outbound_filter: Optional[
+            Callable[[FairLossyLink, Datagram], None]
+        ] = None
 
     def register(self, address: str, receiver: Callable[[Datagram], None]) -> None:
         if address in self._receivers:
@@ -107,6 +110,19 @@ class SimulatedNetwork(NetworkBackend):
         except KeyError:
             raise LookupError(f"no link configured for {source!r} -> {destination!r}") from None
 
+    def set_outbound_filter(
+        self,
+        filter_fn: Optional[Callable[[FairLossyLink, Datagram], None]],
+    ) -> None:
+        """Install an interceptor that replaces ``link.send`` for routing.
+
+        The filter receives the resolved link and the outbound datagram
+        and takes over transmission — the hook :mod:`repro.chaos` uses to
+        inject faults in front of every simulated link.  Pass ``None``
+        to restore direct delivery.
+        """
+        self._outbound_filter = filter_fn
+
     def send(self, message: Datagram) -> None:
         key = (message.source, message.destination)
         link = self._links.get(key)
@@ -114,7 +130,10 @@ class SimulatedNetwork(NetworkBackend):
             from repro.net.delay import ConstantDelay
 
             link = self.set_link(message.source, message.destination, ConstantDelay(0.0))
-        link.send(message)
+        if self._outbound_filter is not None:
+            self._outbound_filter(link, message)
+        else:
+            link.send(message)
 
     def _deliver(self, message: Datagram) -> None:
         receiver = self._receivers.get(message.destination)

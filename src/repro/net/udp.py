@@ -176,17 +176,64 @@ def encode_datagram(message: Datagram) -> bytes:
     return json.dumps(payload).encode("utf-8")
 
 
+class DatagramDecodeError(ValueError):
+    """A wire payload could not be decoded into a :class:`Datagram`.
+
+    This is the *only* exception :func:`decode_datagram` raises: the
+    receive paths on the live side treat it as a fair-lossy drop, so any
+    other exception type escaping the decoder would crash a receiver
+    thread on attacker-controlled bytes.
+    """
+
+
 def decode_datagram(raw: bytes) -> Datagram:
-    data = json.loads(raw.decode("utf-8"))
-    return Datagram(
-        source=data["source"],
-        destination=data["destination"],
-        kind=data["kind"],
-        payload=data.get("payload"),
-        seq=data.get("seq"),
-        timestamp=data.get("timestamp"),
-        uid=data.get("uid", 0),
-    )
+    """Decode wire bytes into a :class:`Datagram`.
+
+    Raises :class:`DatagramDecodeError` — and nothing else — on
+    truncated, oversized, malformed, or type-confused payloads.
+    """
+    if len(raw) > UdpNetwork.MAX_DATAGRAM:
+        raise DatagramDecodeError(f"datagram too large: {len(raw)} bytes")
+    try:
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise DatagramDecodeError(
+                f"datagram body is {type(data).__name__}, expected object"
+            )
+        source = data["source"]
+        destination = data["destination"]
+        kind = data["kind"]
+        if not (
+            isinstance(source, str)
+            and isinstance(destination, str)
+            and isinstance(kind, str)
+        ):
+            raise DatagramDecodeError("source/destination/kind must be strings")
+        seq = data.get("seq")
+        if seq is not None and not isinstance(seq, int):
+            raise DatagramDecodeError("seq must be an integer or null")
+        timestamp = data.get("timestamp")
+        if timestamp is not None and not isinstance(timestamp, (int, float)):
+            raise DatagramDecodeError("timestamp must be a number or null")
+        uid = data.get("uid", 0)
+        if not isinstance(uid, int):
+            raise DatagramDecodeError("uid must be an integer")
+        return Datagram(
+            source=source,
+            destination=destination,
+            kind=kind,
+            payload=data.get("payload"),
+            seq=seq,
+            timestamp=timestamp,
+            uid=uid,
+        )
+    except DatagramDecodeError:
+        raise
+    except Exception as exc:
+        # Funnel every failure mode (bad UTF-8, bad JSON, missing keys,
+        # nesting-depth RecursionError, ...) into the one typed error the
+        # receive loops are contracted to catch.
+        raise DatagramDecodeError(f"undecodable datagram: {exc!r}") from exc
 
 
 class UdpNetwork:
@@ -288,7 +335,7 @@ class UdpNetwork:
                 return  # socket closed during shutdown
             try:
                 message = decode_datagram(raw)
-            except (ValueError, KeyError):
+            except DatagramDecodeError:
                 continue  # corrupted datagram: drop (fair-lossy)
             with self._scheduler.dispatch_lock:
                 if not self._closed:
@@ -312,6 +359,7 @@ class UdpNetwork:
 
 
 __all__ = [
+    "DatagramDecodeError",
     "UdpNetwork",
     "WallClockScheduler",
     "decode_datagram",

@@ -183,6 +183,13 @@ class WindowedQosStore:
         self._pending: List[Tuple[str, str, str, float]] = []
         self._last_time = float("-inf")
         self._closed = False
+        # Graceful degradation: a failing backing database (disk full,
+        # file deleted, corruption) swaps to a fresh in-memory store so
+        # the daemon keeps serving (recent) windows.  The flag is
+        # surfaced in /qos and as fd_service_degraded.
+        self.degraded = False
+        self.degradations_total = 0
+        self._inject_sql_failures = 0
         # Self-measurement (exposed as fd_obs_* meta-metrics).
         self.transitions_total = 0
         self.snapshots_total = 0
@@ -201,15 +208,56 @@ class WindowedQosStore:
 
     # fdlint: disable=async-blocking (bounded choke point: ~400k rows/s inserts, ~47ms worst-case window query; measured in BENCH_obs.json)
     def _sql(self, statement: str, parameters=(), *, many: bool = False):
-        """Execute one statement (the store's only query/DML site)."""
-        if many:
-            return self._connection.executemany(statement, parameters)
-        return self._connection.execute(statement, parameters)
+        """Execute one statement (the store's only query/DML site).
 
+        A :class:`sqlite3.Error` degrades the store to a fresh in-memory
+        database and retries once; only a failure of the retry escapes.
+        """
+        try:
+            if self._inject_sql_failures > 0:
+                self._inject_sql_failures -= 1
+                raise sqlite3.OperationalError("injected sqlite failure")
+            if many:
+                return self._connection.executemany(statement, parameters)
+            return self._connection.execute(statement, parameters)
+        except sqlite3.Error:
+            self._degrade()
+            if many:
+                return self._connection.executemany(statement, parameters)
+            return self._connection.execute(statement, parameters)
+
+    # fdlint: disable=async-blocking (commits batch flush_every=256 transition rows; sub-ms on a local file, measured in BENCH_obs.json)
     def _commit(self) -> None:
         """Commit the current transaction (the only commit site)."""
-        # fdlint: disable=async-blocking (commits batch flush_every=256 transition rows; sub-ms on a local file, measured in BENCH_obs.json)
-        self._connection.commit()
+        try:
+            if self._inject_sql_failures > 0:
+                self._inject_sql_failures -= 1
+                raise sqlite3.OperationalError("injected sqlite failure")
+            self._connection.commit()
+        except sqlite3.Error:
+            self._degrade()
+            self._connection.commit()
+
+    # fdlint: disable=async-blocking (one-time in-memory schema rebuild on a degradation event, not steady-state I/O)
+    def _degrade(self) -> None:
+        """Fall back to a fresh in-memory database (history is lost,
+        service continues).  Counted and flagged, never silent."""
+        self.degraded = True
+        self.degradations_total += 1
+        try:
+            self._connection.close()
+        except sqlite3.Error:
+            # The dead connection refusing to close is part of the same
+            # degradation event already counted above.
+            pass
+        self._connection = sqlite3.connect(":memory:")
+        self._connection.executescript(_SCHEMA)
+
+    def inject_sqlite_failures(self, count: int = 1) -> None:
+        """Arm ``count`` artificial sqlite failures (chaos/test hook)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count!r}")
+        self._inject_sql_failures += int(count)
 
     # ------------------------------------------------------------------
     # Recording
@@ -453,6 +501,8 @@ class WindowedQosStore:
             "pending": len(self._pending),
             "retention_seconds": self.retention,
             "path": self.path,
+            "degraded": self.degraded,
+            "degradations_total": self.degradations_total,
         }
 
     # ------------------------------------------------------------------

@@ -42,11 +42,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.fd.combinations import combination_ids
 from repro.net.message import Datagram
-from repro.net.udp import decode_datagram, encode_datagram
+from repro.net.udp import DatagramDecodeError, decode_datagram, encode_datagram
 from repro.obs.hub import ObservabilityHub
 from repro.service.exporter import IncrementalExporter, render_status
 from repro.service.registry import EndpointMonitor, EndpointRegistry
 from repro.service.runtime import AsyncioScheduler, ServiceSystem
+from repro.service.supervise import ComponentSupervisor, RestartPolicy
 
 
 class _MonitorProtocol(asyncio.DatagramProtocol):
@@ -113,6 +114,8 @@ class MonitorDaemon:
         history: Optional["WindowedQosStore"] = None,
         snapshot_interval: float = 30.0,
         own_observability: bool = True,
+        max_intake_rate: Optional[float] = None,
+        supervise_interval: float = 5.0,
     ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
@@ -167,6 +170,30 @@ class MonitorDaemon:
         self.dropped_datagrams = 0
         self.sent_datagrams = 0
         self.control_acks_sent = 0
+        self.send_errors_total = 0
+        self.shed_datagrams = 0
+        # Graceful degradation: bounded intake (token bucket) and
+        # supervised auxiliary components (snapshot timer, HTTP server).
+        if max_intake_rate is not None and max_intake_rate <= 0:
+            raise ValueError(
+                f"max_intake_rate must be > 0, got {max_intake_rate!r}"
+            )
+        self._max_intake_rate = (
+            float(max_intake_rate) if max_intake_rate is not None else None
+        )
+        self._intake_tokens = (
+            self._max_intake_rate if self._max_intake_rate is not None else 0.0
+        )
+        self._intake_stamp = 0.0
+        if supervise_interval <= 0:
+            raise ValueError(
+                f"supervise_interval must be > 0, got {supervise_interval!r}"
+            )
+        self._supervise_interval = float(supervise_interval)
+        self._snapshot_policy = RestartPolicy(seed=1)
+        self._http_supervisor: Optional[ComponentSupervisor] = None
+        self._http_bound_port: Optional[int] = None
+        self.component_restarts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -202,7 +229,19 @@ class MonitorDaemon:
                 self, host=self._http_host, port=self._http_port
             )
             await self._http_server.start()
+            self._http_bound_port = self._http_server.endpoint[1]
+            self._http_supervisor = ComponentSupervisor(
+                "http",
+                self._scheduler,
+                check=self._http_healthy,
+                restart=self._restart_http,
+                policy=RestartPolicy(seed=2),
+                interval=self._supervise_interval,
+                on_restart=self._count_component_restart,
+            )
+            self._http_supervisor.start()
         self._started_at = self._scheduler.now
+        self._intake_stamp = self._started_at
         self._running = True
         if self.obs.history is not None and self.snapshot_interval > 0:
             self._arm_snapshot_timer()
@@ -220,6 +259,9 @@ class MonitorDaemon:
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+        if self._http_supervisor is not None:
+            self._http_supervisor.stop()
+            self._http_supervisor = None
         if self._http_server is not None:
             await self._http_server.stop(drain=drain)
             self._http_server = None
@@ -298,9 +340,15 @@ class MonitorDaemon:
     # Datagram intake
     # ------------------------------------------------------------------
     def _on_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
+        if self._max_intake_rate is not None and not self._intake_token():
+            # Bounded intake: past the configured rate, shed load before
+            # paying for decode + fanout.  Shed datagrams are counted
+            # separately from malformed drops.
+            self.shed_datagrams += 1
+            return
         try:
             message = decode_datagram(data)
-        except (ValueError, KeyError):
+        except DatagramDecodeError:
             self.dropped_datagrams += 1
             return
         # Learn (or refresh) the sender's service address: replies and
@@ -412,9 +460,36 @@ class MonitorDaemon:
         if addr is None or transport is None or transport.is_closing():
             self.dropped_datagrams += 1
             return False
-        transport.sendto(encode_datagram(message), addr)
+        try:
+            transport.sendto(encode_datagram(message), addr)
+        except OSError:
+            # A failing socket is an observable service event, not a
+            # silently dropped boolean: count it and span it.
+            self.send_errors_total += 1
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.emit(
+                    self.scheduler.now,
+                    "send-error",
+                    message.destination,
+                    kind=message.kind,
+                )
+            return False
         self.sent_datagrams += 1
         return True
+
+    def _intake_token(self) -> bool:
+        """Take one token from the intake bucket (burst = one second)."""
+        rate = self._max_intake_rate
+        assert rate is not None
+        now = self.scheduler.now
+        elapsed = max(0.0, now - self._intake_stamp)
+        self._intake_stamp = now
+        self._intake_tokens = min(rate, self._intake_tokens + elapsed * rate)
+        if self._intake_tokens >= 1.0:
+            self._intake_tokens -= 1.0
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Observability
@@ -425,15 +500,47 @@ class MonitorDaemon:
             return 0
         return sum(monitor.inferred_restores for monitor in self._registry)
 
-    def _arm_snapshot_timer(self) -> None:
+    def _arm_snapshot_timer(self, delay: Optional[float] = None) -> None:
         self._snapshot_handle = self.scheduler.schedule(
-            self.snapshot_interval, self._snapshot_tick, name="obs:snapshot"
+            delay if delay is not None else self.snapshot_interval,
+            self._snapshot_tick,
+            name="obs:snapshot",
         )
 
     def _snapshot_tick(self) -> None:
-        self._take_snapshots()
+        try:
+            self._take_snapshots()
+        except Exception:
+            # Supervised restart: the snapshot loop must outlive a sick
+            # history store.  Re-arm on the jittered backoff schedule.
+            self._count_component_restart("snapshot")
+            if self._running:
+                self._arm_snapshot_timer(self._snapshot_policy.next_delay())
+            return
+        self._snapshot_policy.reset()
         if self._running:
             self._arm_snapshot_timer()
+
+    def _count_component_restart(self, name: str) -> None:
+        self.component_restarts[name] = self.component_restarts.get(name, 0) + 1
+
+    def _http_healthy(self) -> bool:
+        return self._http_server is not None and self._http_server.serving
+
+    async def _restart_http(self) -> None:
+        """Rebind the HTTP endpoint on its previous port (supervised)."""
+        from repro.service.http import MetricsHttpServer
+
+        old = self._http_server
+        self._http_server = None
+        if old is not None:
+            await old.stop(drain=0.0)
+        server = MetricsHttpServer(
+            self, host=self._http_host, port=self._http_bound_port or 0
+        )
+        await server.start()
+        self._http_server = server
+        self._http_bound_port = server.endpoint[1]
 
     def _take_snapshots(self) -> None:
         """Persist one cumulative-QoS snapshot per series, then prune."""
@@ -492,6 +599,7 @@ class MonitorDaemon:
             "window_seconds": float(window),
             "start": start,
             "end": end,
+            "degraded": bool(getattr(history, "degraded", False)),
             "endpoints": endpoints,
         }
 

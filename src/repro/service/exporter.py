@@ -365,6 +365,37 @@ class IncrementalExporter:
             "Datagrams transmitted over the service socket (peer table)",
         )
         lines.append(f"fd_service_sent_datagrams_total {daemon.sent_datagrams}")
+        header(
+            "fd_service_send_errors_total",
+            "counter",
+            "Outbound datagrams that failed with a socket error",
+        )
+        lines.append(f"fd_service_send_errors_total {daemon.send_errors_total}")
+        header(
+            "fd_service_shed_datagrams_total",
+            "counter",
+            "Datagrams shed by the bounded-intake rate limit",
+        )
+        lines.append(f"fd_service_shed_datagrams_total {daemon.shed_datagrams}")
+        history = daemon.obs.history if daemon.obs is not None else None
+        degraded = bool(getattr(history, "degraded", False))
+        header(
+            "fd_service_degraded",
+            "gauge",
+            "Whether an observability dependency fell back to degraded mode",
+        )
+        lines.append(f"fd_service_degraded {1 if degraded else 0}")
+        header(
+            "fd_service_component_restarts_total",
+            "counter",
+            "Supervised restarts of daemon components (snapshot timer, HTTP)",
+        )
+        for component in sorted(daemon.component_restarts):
+            lines.append(
+                "fd_service_component_restarts_total"
+                f'{{component="{_escape_label(component)}"}} '
+                f"{daemon.component_restarts[component]}"
+            )
 
         # Per-application series: a live KV failover controller, when one
         # is attached (repro.kv.live).

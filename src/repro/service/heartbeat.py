@@ -25,6 +25,7 @@ use.
 from __future__ import annotations
 
 import asyncio
+import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -33,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.trace import TraceRecorder
 
 from repro.net.message import Datagram
-from repro.net.udp import decode_datagram, encode_datagram
+from repro.net.udp import DatagramDecodeError, decode_datagram, encode_datagram
 from repro.service.runtime import AsyncioScheduler
 
 
@@ -52,6 +53,9 @@ class HeartbeatEmitter:
         tracer: Optional["TraceRecorder"] = None,
         control_retransmit: float = 0.5,
         control_max_retries: int = 5,
+        control_backoff: float = 1.5,
+        control_jitter: float = 0.1,
+        control_seed: int = 0,
     ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
@@ -79,6 +83,26 @@ class HeartbeatEmitter:
         self._crashed = False
         self.control_retransmit = float(control_retransmit)
         self.control_max_retries = int(control_max_retries)
+        if control_backoff < 1.0:
+            raise ValueError(
+                f"control_backoff must be >= 1, got {control_backoff!r}"
+            )
+        if not 0.0 <= control_jitter < 1.0:
+            raise ValueError(
+                f"control_jitter must be in [0, 1), got {control_jitter!r}"
+            )
+        self.control_backoff = float(control_backoff)
+        self.control_jitter = float(control_jitter)
+        # Jittered retransmit spacing desynchronises a fleet of emitters
+        # re-announcing controls through the same lossy path.  Seeded per
+        # emitter name so live runs stay reproducible.
+        self._control_rng = np.random.Generator(
+            np.random.PCG64(
+                np.random.SeedSequence(
+                    (int(control_seed), zlib.crc32(name.encode("utf-8")))
+                )
+            )
+        )
         self._ctl_seq = 0
         # ctl -> (datagram, attempts so far, pending retransmit handle).
         self._pending_controls: Dict[int, Tuple[Datagram, int, object]] = {}
@@ -166,8 +190,19 @@ class HeartbeatEmitter:
     def _arm_control_retransmit(
         self, ctl: int, datagram: Datagram, *, attempts: int
     ) -> None:
+        # Exponential spacing (capped at 10x base) with jitter: a dead
+        # or partitioned monitor is probed ever more gently, and a fleet
+        # of emitters does not retransmit in lock-step after a heal.
+        delay = min(
+            self.control_retransmit * self.control_backoff ** attempts,
+            10.0 * self.control_retransmit,
+        )
+        if self.control_jitter:
+            delay *= 1.0 + self.control_jitter * float(
+                self._control_rng.uniform(-1.0, 1.0)
+            )
         handle = self._scheduler.schedule(
-            self.control_retransmit,
+            delay,
             lambda: self._retransmit_control(ctl),
             name=f"{self.name}:control-retransmit",
         )
@@ -438,7 +473,7 @@ class HeartbeatFleet:
     def _on_datagram(self, data: bytes) -> None:
         try:
             message = decode_datagram(data)
-        except (ValueError, KeyError):
+        except DatagramDecodeError:
             return
         if message.kind != "control-ack":
             return

@@ -61,6 +61,11 @@ class MetricsHttpServer:
         )
 
     @property
+    def serving(self) -> bool:
+        """Whether the listening socket is up (the supervised invariant)."""
+        return self._server is not None and self._server.is_serving()
+
+    @property
     def endpoint(self) -> Tuple[str, int]:
         """The bound (host, port)."""
         if self._server is None or not self._server.sockets:

@@ -1,0 +1,157 @@
+"""Component supervision: jittered exponential-backoff restarts.
+
+The daemon's auxiliary components (the snapshot timer, the HTTP
+endpoint) must not take the monitoring core down with them, and must
+not hammer a persistently-failing dependency either.  Both concerns are
+captured here:
+
+* :class:`RestartPolicy` — a seeded, jittered exponential backoff
+  schedule (deterministic given its seed, like every other random draw
+  in this codebase);
+* :class:`ComponentSupervisor` — a scheduler-driven health-check loop
+  that restarts a dead component after the policy's next delay and
+  resets the policy once the component is healthy again.
+
+Restart attempts are counted, never silently retried: the daemon
+exposes them as ``fd_service_component_restarts_total``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+
+class RestartPolicy:
+    """Jittered exponential backoff: ``base * factor**n``, capped, ±jitter.
+
+    The jitter draw comes from a dedicated PCG64 stream seeded at
+    construction, so supervised restarts are reproducible in tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.5,
+        factor: float = 2.0,
+        max_delay: float = 30.0,
+        jitter: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or max_delay < base:
+            raise ValueError(
+                f"need base > 0, factor >= 1, max_delay >= base; got "
+                f"base={base!r} factor={factor!r} max_delay={max_delay!r}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.failures = 0
+        self._rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(seed))
+        )
+
+    def next_delay(self) -> float:
+        """The delay before the next restart attempt (advances the count)."""
+        delay = min(self.max_delay, self.base * self.factor ** self.failures)
+        self.failures += 1
+        if self.jitter:
+            delay *= 1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0))
+        return delay
+
+    def reset(self) -> None:
+        """Back to the base delay (call when the component is healthy)."""
+        self.failures = 0
+
+
+class ComponentSupervisor:
+    """Keeps one component alive via check/restart callables.
+
+    ``check()`` must return truthy while the component is healthy.
+    ``restart()`` may be sync or a coroutine function — coroutines are
+    driven as loop tasks (the supervisor runs on the daemon's asyncio
+    scheduler).  ``on_restart(name)`` is invoked once per attempt so the
+    owner can count it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: Any,
+        *,
+        check: Callable[[], bool],
+        restart: Callable[[], Any],
+        policy: Optional[RestartPolicy] = None,
+        interval: float = 5.0,
+        on_restart: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval!r}")
+        self.name = name
+        self._scheduler = scheduler
+        self._check = check
+        self._restart = restart
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.interval = float(interval)
+        self._on_restart = on_restart
+        self._handle = None
+        self._stopped = False
+        self.restarts_total = 0
+        self.restart_failures_total = 0
+
+    def start(self) -> None:
+        """Arm the periodic health check."""
+        self._stopped = False
+        self._arm(self.interval)
+
+    def stop(self) -> None:
+        """Cancel the health check (idempotent)."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _arm(self, delay: float) -> None:
+        if self._stopped:
+            return
+        self._handle = self._scheduler.schedule(
+            delay, self._tick, name=f"supervise:{self.name}"
+        )
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self._check():
+            self.policy.reset()
+            self._arm(self.interval)
+            return
+        delay = self.policy.next_delay()
+        self._arm(delay)
+        self.restarts_total += 1
+        if self._on_restart is not None:
+            self._on_restart(self.name)
+        try:
+            result = self._restart()
+            if inspect.iscoroutine(result):
+                task = asyncio.ensure_future(result)
+                task.add_done_callback(self._on_restart_task_done)
+        except Exception:
+            # A failed restart attempt is a counted event, not a crash:
+            # the next health check fires after the (longer) backoff.
+            self.restart_failures_total += 1
+
+    def _on_restart_task_done(self, task: "asyncio.Task") -> None:
+        if task.cancelled():
+            self.restart_failures_total += 1
+            return
+        if task.exception() is not None:
+            self.restart_failures_total += 1
+
+
+__all__ = ["ComponentSupervisor", "RestartPolicy"]

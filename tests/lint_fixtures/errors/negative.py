@@ -1,0 +1,52 @@
+"""Negative fixture: every broad except accounts for the error."""
+
+import sqlite3
+
+
+class TypedDecodeError(ValueError):
+    pass
+
+
+def funnel_into_typed_error(decode, raw):
+    try:
+        return decode(raw)
+    except Exception as exc:
+        # Re-raising as a typed error keeps the failure observable.
+        raise TypedDecodeError(f"undecodable: {exc!r}") from exc
+
+
+class CountingSupervisor:
+    def __init__(self):
+        self.restart_failures_total = 0
+        self.component_restarts = {}
+
+    def attempt(self, restart):
+        try:
+            restart()
+        except Exception:
+            self.restart_failures_total += 1
+
+    def tick(self, component, work):
+        try:
+            work()
+        except Exception:
+            self._count_restart(component)
+
+    def _count_restart(self, name):
+        self.component_restarts[name] = self.component_restarts.get(name, 0) + 1
+
+
+def tolerate_specific(connection):
+    try:
+        connection.commit()
+    except sqlite3.Error:
+        # Specific exception types name what is tolerated: not flagged.
+        return False
+    return True
+
+
+def reraise_bare(work):
+    try:
+        work()
+    except:  # noqa: E722 - re-raises, so the rule stays silent
+        raise

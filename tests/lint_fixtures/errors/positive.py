@@ -1,0 +1,30 @@
+"""Positive fixture: broad excepts that silently swallow the error."""
+
+
+def swallow_bare(work):
+    try:
+        work()
+    except:  # noqa: E722 - the rule under test
+        pass
+
+
+def swallow_exception(work):
+    try:
+        work()
+    except Exception:
+        return None
+
+
+def swallow_with_binding(work, log):
+    try:
+        work()
+    except Exception as exc:
+        # Logging alone is not accounting: nothing a dashboard can see.
+        log.debug("ignored %r", exc)
+
+
+def swallow_base_exception_in_tuple(work):
+    try:
+        work()
+    except (ValueError, BaseException):
+        return False

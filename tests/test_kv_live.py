@@ -12,6 +12,7 @@ import asyncio
 
 import pytest
 
+from repro.chaos import ChaosEngine, FaultPlan, attach_daemon
 from repro.kv.live import AsyncKvClient, LiveFailoverController, LiveKvNode
 from repro.obs import TraceRecorder
 from repro.service import MonitorDaemon
@@ -117,5 +118,97 @@ class TestLiveFailover:
                     await node.stop()
                 await daemon.stop()
                 tracer.close()
+
+        run(main())
+
+
+class TestLivePartitionHeal:
+    def test_partition_demotes_and_heal_readopts_primary(self):
+        """A healed primary is re-adopted and clients converge.
+
+        The chaos shim on the daemon intake drops kv-a's heartbeats for
+        a 4s window — a pure network partition, the node itself stays
+        healthy.  The controller must demote to kv-b while kv-a is
+        unreachable, then re-promote kv-a (priority order) once its
+        heartbeats flow again, and a client must see its writes land on
+        whichever primary the view names at the time.
+        """
+        async def main():
+            plan = (
+                FaultPlan.build(name="kv-heal", seed=0)
+                .partition("kv-a", "*", 0.0, 4.0, bidirectional=False)
+                .done()
+            )
+            engine = ChaosEngine(plan)
+            daemon = MonitorDaemon(
+                port=0, http_port=None, eta=0.1,
+                detector_ids=["Last+CI_med"], initial_timeout=0.8,
+                auto_register=True,
+            )
+            intake = attach_daemon(engine, daemon)
+            await daemon.start()
+            # Keep the partition dormant until the steady state exists.
+            intake.arm(float("inf"))
+            names = ["kv-a", "kv-b"]
+            nodes = [
+                LiveKvNode(name, names, daemon.udp_endpoint, eta=0.1)
+                for name in names
+            ]
+            client = None
+            try:
+                for node in nodes:
+                    await node.start()
+                for node in nodes:
+                    for other in nodes:
+                        if other is not node:
+                            node.add_peer(other.name, other.udp_endpoint)
+                controller = LiveFailoverController(
+                    daemon, names, detector_id="Last+CI_med"
+                )
+                client = AsyncKvClient(
+                    "c1",
+                    {node.name: node.udp_endpoint for node in nodes},
+                    names,
+                    op_timeout=0.4,
+                    max_retries=30,
+                )
+                await client.start()
+
+                assert await eventually(
+                    lambda: all(daemon.peer_addr(n) is not None for n in names)
+                )
+                before = await client.set("k", "pre-partition")
+                assert controller.view.primary == "kv-a"
+
+                # Anchor the plan: the 4s partition starts *now*.
+                intake.arm(daemon.scheduler.now)
+                assert await eventually(
+                    lambda: controller.view.primary == "kv-b", timeout=15.0
+                ), "partitioned primary must be demoted"
+                assert controller.failovers_total >= 1
+                during = await client.set("k", "during-partition")
+                assert during > before
+
+                # Heal: kv-a's heartbeats flow again, the detector
+                # re-trusts, and priority order re-promotes kv-a.
+                assert await eventually(
+                    lambda: controller.view.primary == "kv-a", timeout=20.0
+                ), "healed primary must be re-adopted"
+                assert controller.failovers_total >= 2
+                assert engine.stats.dropped > 0
+
+                # The client converges on the restored primary: a fresh
+                # write lands there and dominates every earlier version.
+                after = await client.set("k", "post-heal")
+                assert after > during
+                value, version, stale = await client.get("k")
+                assert value == "post-heal"
+                assert version == after and not stale
+            finally:
+                if client is not None:
+                    await client.stop()
+                for node in nodes:
+                    await node.stop()
+                await daemon.stop()
 
         run(main())

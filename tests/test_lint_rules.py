@@ -39,6 +39,7 @@ CORPUS = {
     "detector-bank-construction": (
         "bank/positive.py", "bank/negative.py"
     ),
+    "error-swallowing": ("errors/positive.py", "errors/negative.py"),
 }
 
 

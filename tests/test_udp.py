@@ -19,7 +19,11 @@ from repro.neko.system import NekoSystem
 from repro.nekostat.events import EventKind
 from repro.nekostat.log import EventLog
 from repro.net.message import Datagram
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.net.udp import (
+    DatagramDecodeError,
     UdpNetwork,
     WallClockScheduler,
     decode_datagram,
@@ -68,12 +72,67 @@ class TestWireFormat:
         assert got.kind == "crash" and got.seq is None
 
     def test_malformed_bytes_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DatagramDecodeError):
             decode_datagram(b"\xff\x00 not json")
 
     def test_missing_required_field_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(DatagramDecodeError):
             decode_datagram(b'{"source": "q"}')
+
+    def test_type_confused_fields_rejected(self):
+        for raw in (
+            b'{"source": 1, "destination": "m", "kind": "heartbeat"}',
+            b'{"source": "q", "destination": "m", "kind": "heartbeat", "seq": "x"}',
+            b'{"source": "q", "destination": "m", "kind": "heartbeat", "uid": "x"}',
+            b'{"source": "q", "destination": "m", "kind": "heartbeat", "timestamp": "x"}',
+            b'[1, 2, 3]',
+            b'"heartbeat"',
+        ):
+            with pytest.raises(DatagramDecodeError):
+                decode_datagram(raw)
+
+    def test_oversized_datagram_rejected(self):
+        raw = b"x" * (UdpNetwork.MAX_DATAGRAM + 1)
+        with pytest.raises(DatagramDecodeError):
+            decode_datagram(raw)
+
+    def test_decode_error_is_a_value_error(self):
+        # Pre-hardening call sites caught ValueError; the typed error
+        # must stay substitutable for them.
+        assert issubclass(DatagramDecodeError, ValueError)
+
+    @given(raw=st.binary(max_size=512))
+    @settings(max_examples=300, deadline=None)
+    def test_fuzz_no_other_exception_escapes(self, raw):
+        try:
+            message = decode_datagram(raw)
+        except DatagramDecodeError:
+            return
+        assert isinstance(message, Datagram)
+
+    @given(
+        prefix=st.integers(min_value=0, max_value=200),
+        flip=st.integers(min_value=0, max_value=255),
+        position=st.integers(min_value=0, max_value=199),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fuzz_truncated_and_flipped_real_datagrams(
+        self, prefix, flip, position
+    ):
+        raw = encode_datagram(
+            Datagram(
+                source="q", destination="monitor", kind="heartbeat",
+                seq=3, timestamp=1.25, payload={"k": "v"},
+            )
+        )
+        mangled = bytearray(raw[:prefix] if prefix < len(raw) else raw)
+        if mangled:
+            mangled[position % len(mangled)] ^= flip
+        try:
+            message = decode_datagram(bytes(mangled))
+        except DatagramDecodeError:
+            return
+        assert isinstance(message, Datagram)
 
 
 class TestWallClockScheduler:
