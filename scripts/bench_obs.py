@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Benchmark the observability layer: incremental ``/metrics``, tracing,
-and the windowed QoS history store.
+the windowed QoS history store, trace analysis and drift monitoring.
 
-Three independent measurements:
+Five independent measurements:
 
 * **Exposition** — a daemon with ``--endpoints x --detectors`` live
   series, every accumulator carrying real samples.  Compares the legacy
@@ -14,6 +14,11 @@ Three independent measurements:
   alone and with JSONL persistence.
 * **History** — transition insert throughput and window-query latency of
   :class:`repro.obs.WindowedQosStore`.
+* **Analyze** — ``repro trace-analyze``'s core (load + full analysis)
+  over a synthesized ~100k-span JSONL trace.  The contract proved by
+  ``benchmarks/test_bench_obs.py`` is completion within seconds.
+* **Drift** — per-heartbeat cost of :class:`repro.obs.DriftMonitor`
+  intake and the latency of one full evaluation pass.
 
 Results are appended to a JSON history file (default ``BENCH_obs.json``),
 the same layout as ``scripts/bench_service.py``.
@@ -161,6 +166,89 @@ def _bench_trace(events: int, tmp_dir: str) -> Dict:
     }
 
 
+def _synthesize_trace(path: str, spans: int) -> int:
+    """Write a realistic JSONL trace of ~``spans`` events: clean
+    four-span heartbeat journeys with a suspicion every 500 heartbeats.
+    Returns the actual event count."""
+    eta = 0.1
+    written = 0
+    recorder = TraceRecorder(path, max_bytes=1 << 30)
+    heartbeats = max(1, spans // 4)
+    for seq in range(heartbeats):
+        send_t = seq * eta
+        delay = 0.01 + 0.002 * (seq % 7)
+        receive_t = send_t + delay
+        recorder.emit(send_t, "send", "bench", seq=seq)
+        recorder.emit(receive_t, "receive", "bench", seq=seq, delay=delay)
+        recorder.emit(receive_t + 1e-4, "fanout", "bench", seq=seq)
+        recorder.emit(
+            receive_t + 2e-4, "freshness", "bench", detector="fd", seq=seq,
+            timeout=0.03, deadline=receive_t + eta + 0.03,
+        )
+        written += 4
+        if seq % 500 == 499:
+            recorder.emit(
+                receive_t + 0.05, "suspect", "bench", detector="fd", seq=seq
+            )
+            recorder.emit(
+                receive_t + 0.08, "trust", "bench", detector="fd", seq=seq
+            )
+            written += 2
+    recorder.close()
+    return written
+
+
+def _bench_analyze(spans: int, tmp_dir: str) -> Dict:
+    """Time ``repro trace-analyze``'s core over a ~``spans``-span file."""
+    import repro.obs.analyze as obs_analyze
+
+    path = os.path.join(tmp_dir, "bench-analyze.jsonl")
+    events_written = _synthesize_trace(path, spans)
+    try:
+        started = time.perf_counter()
+        events = obs_analyze.load_events([path])
+        load_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        analysis = obs_analyze.analyze(events)
+        analyze_s = time.perf_counter() - started
+    finally:
+        os.unlink(path)
+    assert analysis.events_total == events_written
+    assert analysis.qos and analysis.mortems
+    total_s = load_s + analyze_s
+    return {
+        "spans": events_written,
+        "load_s": round(load_s, 3),
+        "analyze_s": round(analyze_s, 3),
+        "total_s": round(total_s, 3),
+        "spans_per_s": round(events_written / total_s, 1),
+        "post_mortems": len(analysis.mortems),
+    }
+
+
+def _bench_drift(observations: int) -> Dict:
+    """Per-heartbeat cost of DriftMonitor.observe and evaluate latency."""
+    from repro.obs.drift import DriftMonitor
+
+    monitor = DriftMonitor(window_samples=512, baseline_samples=512)
+    started = time.perf_counter()
+    for i in range(observations):
+        monitor.observe("bench", i * 0.1, 0.01 + 0.002 * (i % 7), seq=i)
+    observe_ns = 1e9 * (time.perf_counter() - started) / observations
+
+    started = time.perf_counter()
+    report = monitor.evaluate(observations * 0.1)
+    evaluate_ms = 1e3 * (time.perf_counter() - started)
+    assert report["endpoints"]["bench"]["status"] == "ok"
+    return {
+        "observations": observations,
+        "observe_ns_per_heartbeat": round(observe_ns, 1),
+        "evaluate_ms": round(evaluate_ms, 3),
+        "ks": round(report["endpoints"]["bench"]["ks"], 4),
+    }
+
+
 def _bench_history(transitions: int) -> Dict:
     store = WindowedQosStore(":memory:", retention=float(transitions))
     try:
@@ -198,15 +286,19 @@ def run_benchmark(
     scrape_iters: int = 50,
     trace_events: int = 100_000,
     history_transitions: int = 50_000,
+    analyze_spans: int = 100_000,
+    drift_observations: int = 100_000,
     tmp_dir: str = ".",
 ) -> Dict:
-    """Run all three measurements and return one JSON-able record."""
+    """Run all five measurements and return one JSON-able record."""
     record = {
         "exposition": asyncio.run(
             _bench_exposition(endpoints, detectors, full_iters, scrape_iters)
         ),
         "trace": _bench_trace(trace_events, tmp_dir),
         "history": _bench_history(history_transitions),
+        "analyze": _bench_analyze(analyze_spans, tmp_dir),
+        "drift": _bench_drift(drift_observations),
     }
     return record
 
@@ -215,6 +307,8 @@ def format_report(record: Dict) -> str:
     e = record["exposition"]
     t = record["trace"]
     h = record["history"]
+    a = record["analyze"]
+    d = record["drift"]
     return "\n".join(
         [
             f"exposition ({e['endpoints']} endpoints x "
@@ -233,6 +327,14 @@ def format_report(record: Dict) -> str:
             f"history ({h['transitions']} transitions)",
             f"  insert               : {h['insert_rows_per_s']:10.1f} rows/s",
             f"  window query         : {h['window_query_ms']:10.3f} ms",
+            f"analyze ({a['spans']} spans)",
+            f"  load                 : {a['load_s']:10.3f} s",
+            f"  analyze              : {a['analyze_s']:10.3f} s",
+            f"  throughput           : {a['spans_per_s']:10.1f} spans/s",
+            f"drift ({d['observations']} observations)",
+            f"  observe              : "
+            f"{d['observe_ns_per_heartbeat']:10.1f} ns/heartbeat",
+            f"  evaluate             : {d['evaluate_ms']:10.3f} ms",
         ]
     )
 
@@ -248,6 +350,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--trace-events", type=int, default=100_000)
     parser.add_argument("--history-transitions", type=int, default=50_000)
+    parser.add_argument("--analyze-spans", type=int, default=100_000)
+    parser.add_argument("--drift-observations", type=int, default=100_000)
     parser.add_argument("--output", default="BENCH_obs.json")
     args = parser.parse_args(argv)
     if not 1 <= args.detectors <= 30:
@@ -258,9 +362,19 @@ def main(argv=None) -> int:
         args.detectors,
         trace_events=args.trace_events,
         history_transitions=args.history_transitions,
+        analyze_spans=args.analyze_spans,
+        drift_observations=args.drift_observations,
     )
     result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     result["python"] = platform.python_version()
+
+    if args.output == "-":
+        print(format_report(result))
+        speedup = result["exposition"]["speedup_cached_vs_full"]
+        if speedup < 10.0:
+            print(f"WARNING: cached scrape only {speedup:.1f}x faster "
+                  "(contract is >= 10x)")
+        return 0
 
     history = []
     if os.path.exists(args.output):

@@ -106,12 +106,22 @@ async def run_daemon_scenario_async(
     detector_ids: Optional[Sequence[str]] = None,
     with_history: bool = False,
     max_intake_rate: Optional[float] = None,
+    trace_path: Optional[str] = None,
+    drift_window: int = 0,
+    drift_interval: float = 1.0,
 ) -> Dict[str, Any]:
     """Run the live loopback service under ``plan`` (coroutine form).
 
     A real :class:`MonitorDaemon` and a real :class:`HeartbeatFleet`
     exchange UDP datagrams on loopback for ``duration`` wall-clock
     seconds; chaos intake shims on both components replay the plan.
+
+    ``trace_path`` records every span — emitter ``send`` spans included,
+    the fleet shares the daemon's recorder — to a JSONL file, and the
+    report then carries per-series online QoS so ``repro trace-analyze``
+    output can be checked against the live accumulators.
+    ``drift_window > 0`` runs the online drift monitor and appends its
+    final evaluation to the report.
     """
     from repro.service.daemon import MonitorDaemon
     from repro.service.heartbeat import HeartbeatFleet
@@ -121,21 +131,29 @@ async def run_daemon_scenario_async(
         from repro.obs.history import WindowedQosStore
 
         history = WindowedQosStore(":memory:", retention=3600.0)
+    tracer = None
+    if trace_path is not None:
+        from repro.obs.trace import TraceRecorder
+
+        tracer = TraceRecorder(trace_path)
     daemon = MonitorDaemon(
         port=0,
         http_port=None,
         eta=eta,
         detector_ids=list(detector_ids) if detector_ids else [DEFAULT_DETECTOR],
+        tracer=tracer,
         history=history,
         snapshot_interval=1.0 if with_history else 0.0,
         max_intake_rate=max_intake_rate,
+        drift_window=drift_window,
+        drift_interval=drift_interval,
     )
     engine = ChaosEngine(plan)
     daemon_intake = attach_daemon(engine, daemon)
     await daemon.start()
     daemon_intake.arm(daemon.scheduler.now)
     host, port = daemon.udp_endpoint
-    fleet = HeartbeatFleet(list(endpoints), (host, port), eta=eta)
+    fleet = HeartbeatFleet(list(endpoints), (host, port), eta=eta, tracer=tracer)
     attach_fleet(engine, fleet)
     await fleet.start()
     try:
@@ -146,16 +164,23 @@ async def run_daemon_scenario_async(
         per_endpoint: Dict[str, Any] = {}
         for monitor in daemon.registry:
             suspecting = monitor.suspecting()
-            per_endpoint[monitor.name] = {
+            entry: Dict[str, Any] = {
                 "heartbeats": monitor.heartbeats,
                 "suspecting_at_end": any(suspecting.values()),
             }
+            if trace_path is not None:
+                entry["qos"] = {
+                    detector_id: qos_brief_live(qos)
+                    for detector_id, qos in monitor.snapshot(now).items()
+                }
+            per_endpoint[monitor.name] = entry
         report: Dict[str, Any] = {
             "target": "daemon",
             "survived": survived,
             "chaos": engine.report(),
             "duration": duration,
             "eta": eta,
+            "now": now,
             "fleet_sent": fleet.total_sent(),
             "daemon": {
                 "heartbeats_total": daemon.heartbeats_total,
@@ -167,6 +192,10 @@ async def run_daemon_scenario_async(
             },
             "endpoints": per_endpoint,
         }
+        if trace_path is not None:
+            report["trace_path"] = trace_path
+        if daemon.drift is not None:
+            report["drift"] = daemon.drift.evaluate(now)
         if history is not None:
             report["history"] = {
                 "degraded": history.degraded,
@@ -176,6 +205,20 @@ async def run_daemon_scenario_async(
     finally:
         await fleet.stop()
         await daemon.stop()
+
+
+def qos_brief_live(qos: Any) -> Dict[str, Any]:
+    """A JSON-able brief of one online accumulator snapshot."""
+    t_d = qos.t_d
+    t_m = qos.t_m
+    return {
+        "mistakes": len(qos.mistakes),
+        "td_samples": len(qos.td_samples),
+        "t_d_mean": t_d.mean if t_d else None,
+        "t_m_mean": t_m.mean if t_m else None,
+        "p_a": qos.p_a,
+        "undetected_crashes": qos.undetected_crashes,
+    }
 
 
 def run_daemon_scenario(plan: FaultPlan, **kwargs: Any) -> Dict[str, Any]:

@@ -13,10 +13,15 @@ Usage (also via ``python -m repro``):
                        [--engine simulator|replay]
     repro serve-monitor   [--port 9999] [--http-port 9100] [--eta 1.0]
                           [--trace [PATH]] [--history-db qos.sqlite]
+                          [--drift-window 512] [--drift-baseline delays.txt]
     repro serve-heartbeat --names node-1,node-2 [--monitor-port 9999]
                           [--mttc 120 --ttr 20] [--trace [PATH]]
     repro qos-history     --db qos.sqlite [--window 3600]
                           [--endpoint node-1] [--detectors all|id,...]
+    repro trace-analyze   --input fd-trace.jsonl [--merge hb-trace.jsonl]
+                          [--history-db qos.sqlite] [--json]
+    repro postmortem      --input fd-trace.jsonl [--endpoint node-1]
+                          [--detector Last+CI_med] [--json]
     repro kv-sweep        [--etas 0.1,0.5,1.0] [--detectors all|id,...]
                           [--duration 120] [--workers N] [--output kv.json]
     repro chaos           (--plan plan.json | --add-channel)
@@ -195,6 +200,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="period of persisted QoS snapshots (0 = off)")
     monitor.add_argument("--no-history", action="store_true",
                          help="disable the windowed QoS store and /qos")
+    monitor.add_argument("--drift-window", type=int, default=0,
+                         help="rolling delay window, heartbeats per "
+                              "endpoint, of the online drift monitor "
+                              "(0 = disabled)")
+    monitor.add_argument("--drift-baseline", default=None, metavar="PATH",
+                         help="delay trace (repro trace format) used as "
+                              "the drift baseline for every endpoint "
+                              "(default: self-baseline from the first "
+                              "drift-window delays)")
+    monitor.add_argument("--drift-interval", type=float, default=5.0,
+                         help="seconds between drift evaluations")
 
     heartbeat = subparsers.add_parser(
         "serve-heartbeat",
@@ -242,6 +258,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     history.add_argument("--json", action="store_true",
                          help="print the raw JSON documents instead")
+
+    analyze = subparsers.add_parser(
+        "trace-analyze",
+        help="replay a recorded span trace into per-hop latency "
+             "breakdowns and QoS (see docs/observability.md)",
+    )
+    analyze.add_argument("--input", required=True, metavar="PATH",
+                         help="fd-trace.jsonl written by serve-monitor "
+                              "--trace (rotated backups read "
+                              "automatically)")
+    analyze.add_argument("--merge", action="append", default=[],
+                         metavar="PATH",
+                         help="additional trace file merged by timestamp "
+                              "(e.g. an emitter's hb-trace.jsonl); "
+                              "repeatable")
+    analyze.add_argument("--end", type=float, default=None,
+                         help="close open QoS intervals at this time "
+                              "(default: the history database's newest "
+                              "recorded time with --history-db, else "
+                              "the last span)")
+    analyze.add_argument(
+        "--detectors", default="all",
+        help="'all' or comma-separated ids, e.g. Last+JAC_med,Arima+CI_low",
+    )
+    analyze.add_argument("--history-db", default=None, metavar="PATH",
+                         help="cross-check the span-derived QoS against "
+                              "this monitor history database's newest "
+                              "snapshots")
+    analyze.add_argument("--json", action="store_true",
+                         help="print the full analysis as JSON")
+
+    postmortem = subparsers.add_parser(
+        "postmortem",
+        help="explain every suspect/trust span pair in a recorded trace",
+    )
+    postmortem.add_argument("--input", required=True, metavar="PATH",
+                            help="fd-trace.jsonl written by serve-monitor "
+                                 "--trace")
+    postmortem.add_argument("--merge", action="append", default=[],
+                            metavar="PATH",
+                            help="additional trace file merged by "
+                                 "timestamp; repeatable")
+    postmortem.add_argument("--endpoint", default=None,
+                            help="restrict to one endpoint")
+    postmortem.add_argument("--detector", default=None,
+                            help="restrict to one detector combination")
+    postmortem.add_argument("--limit", type=int, default=0,
+                            help="print at most this many post-mortems "
+                                 "(0 = all)")
+    postmortem.add_argument("--json", action="store_true",
+                            help="print the post-mortems as JSON lines")
 
     kv_sweep = subparsers.add_parser(
         "kv-sweep",
@@ -519,6 +586,17 @@ def _command_serve_monitor(args: argparse.Namespace) -> int:
         if args.no_history
         else WindowedQosStore(args.history_db, retention=args.history_retention)
     )
+    baseline = None
+    if args.drift_baseline is not None:
+        if args.drift_window <= 0:
+            print("error: --drift-baseline requires --drift-window > 0",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = DelayTrace.load(args.drift_baseline).delays
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load drift baseline: {exc}", file=sys.stderr)
+            return 2
     daemon = MonitorDaemon(
         host=args.host,
         port=args.port,
@@ -531,6 +609,9 @@ def _command_serve_monitor(args: argparse.Namespace) -> int:
         tracer=tracer,
         history=history,
         snapshot_interval=args.snapshot_interval,
+        drift_window=max(0, args.drift_window),
+        drift_baseline=baseline,
+        drift_interval=args.drift_interval,
     )
 
     async def serve() -> None:
@@ -548,6 +629,8 @@ def _command_serve_monitor(args: argparse.Namespace) -> int:
                 routes += ", /qos"
             if tracer is not None:
                 routes += ", /trace"
+            if daemon.drift is not None:
+                routes += ", /drift"
             print(f"monitor: metrics on http://{http_host}:{http_port}/metrics "
                   f"(also {routes})")
         if tracer is not None:
@@ -555,6 +638,12 @@ def _command_serve_monitor(args: argparse.Namespace) -> int:
         if history is not None and args.history_db != ":memory:":
             print(f"monitor: windowed QoS history in {args.history_db} "
                   f"(retention {args.history_retention:.0f}s)")
+        if daemon.drift is not None:
+            source = (args.drift_baseline if args.drift_baseline is not None
+                      else "self-baseline")
+            print(f"monitor: drift monitor on ({args.drift_window} "
+                  f"heartbeats/endpoint vs {source}, evaluated every "
+                  f"{args.drift_interval:g}s)")
         await _run_until(args.duration, [daemon.stop])
 
     try:
@@ -622,6 +711,89 @@ def _command_qos_history(args: argparse.Namespace) -> int:
               f"{fmt(t_m.mean if t_m else None, 1e3):>9} "
               f"{fmt(t_mr.mean if t_mr else None):>9} "
               f"{qos.p_a:9.6f} {len(qos.mistakes):>5}")
+    return 0
+
+
+def _command_trace_analyze(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    # The package __init__ re-exports the analyze() function under the
+    # submodule's name, so import the module by its full path.
+    import repro.obs.analyze as obs_analyze
+
+    try:
+        detectors = _parse_detectors(args.detectors)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        events = obs_analyze.load_events([args.input] + list(args.merge))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    reference = None
+    end_time = args.end
+    if args.history_db:
+        import os
+
+        from repro.obs import WindowedQosStore
+
+        if not os.path.exists(args.history_db):
+            print(f"error: no such history database: {args.history_db}",
+                  file=sys.stderr)
+            return 2
+        store = WindowedQosStore(args.history_db)
+        try:
+            reference = obs_analyze.history_reference(store)
+            if end_time is None:
+                # The daemon may outlive the last span (a stopped fleet
+                # leaves open suspicions accruing wall time until the
+                # shutdown snapshot). Close the replay at the store's
+                # newest recorded time so both sides describe the same
+                # observation window.
+                end_time = store.latest_time()
+        finally:
+            store.close()
+    analysis = obs_analyze.analyze(
+        events, end_time=end_time, detectors=detectors
+    )
+    if args.json:
+        print(json_module.dumps(analysis.to_dict(), sort_keys=True))
+    else:
+        print(obs_analyze.format_analysis(analysis))
+    if reference is not None:
+        problems = obs_analyze.cross_check(analysis, reference)
+        if problems:
+            print(f"\ncross-check vs {args.history_db}: "
+                  f"{len(problems)} disagreement(s)")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"\ncross-check vs {args.history_db}: "
+              f"{len(reference)} series agree")
+    return 0
+
+
+def _command_postmortem(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    import repro.obs.analyze as obs_analyze
+
+    try:
+        events = obs_analyze.load_events([args.input] + list(args.merge))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    mortems = obs_analyze.post_mortems(
+        events, endpoint=args.endpoint, detector=args.detector
+    )
+    if args.limit > 0:
+        mortems = mortems[: args.limit]
+    if args.json:
+        for mortem in mortems:
+            print(json_module.dumps(mortem.to_dict(), sort_keys=True))
+    else:
+        print(obs_analyze.format_post_mortems(mortems))
     return 0
 
 
@@ -834,6 +1006,8 @@ _COMMANDS = {
     "serve-monitor": _command_serve_monitor,
     "serve-heartbeat": _command_serve_heartbeat,
     "qos-history": _command_qos_history,
+    "trace-analyze": _command_trace_analyze,
+    "postmortem": _command_postmortem,
     "kv-sweep": _command_kv_sweep,
     "chaos": _command_chaos,
 }

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
     from repro.service.daemon import MonitorDaemon
 
 from repro.kv.failover import FailoverState, ViewChange
@@ -73,12 +74,17 @@ class LiveKvNode:
         host: str = "127.0.0.1",
         port: int = 0,
         monitor_address: str = "monitor",
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         self.core = KvNodeCore(name, nodes, write_concern=write_concern)
         self.name = name
         self.eta = float(eta)
         self._monitor = monitor
         self._monitor_address = monitor_address
+        # Threaded into the heartbeat emitter so every KV heartbeat gets
+        # a `send` span (emit wall-time + seq) like fleet emitters do —
+        # per-hop trace analysis never has to infer the emit time.
+        self._tracer = tracer
         self._host = host
         self._port = port
         self._peers: Dict[str, Tuple[str, int]] = {}
@@ -109,6 +115,7 @@ class LiveKvNode:
             self._scheduler,
             eta=self.eta,
             monitor_address=self._monitor_address,
+            tracer=self._tracer,
         )
         self.emitter.start()
 

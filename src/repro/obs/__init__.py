@@ -22,6 +22,16 @@ itself, three pillars behind one wiring point:
   crash/restore notification out to the history store and to dirty-set
   listeners (the incremental Prometheus exporter), and owns the trace
   recorder's lifecycle.
+* :mod:`repro.obs.analyze` — **trace-driven analysis**: replay a
+  recorded ``fd-trace.jsonl`` (rotated backups included) into per-hop
+  latency breakdowns, detector-decision post-mortems, and QoS
+  reproduced from spans alone (``repro trace-analyze`` /
+  ``repro postmortem``).
+* :mod:`repro.obs.drift` — **live re-calibration**: the
+  :class:`DriftMonitor` compares the daemon's observed delay stream
+  against a calibrated baseline (KS distance, moment and loss drift,
+  calibrator parameter deltas) behind ``/drift`` and
+  ``fd_service_drift_*`` gauges.
 
 Labeled per-heartbeat delay/outcome traces are the raw material for
 learning-based detectors (Li & Marin, arXiv:2210.00134), and large-scale
@@ -29,14 +39,30 @@ monitoring needs aggregated, queryable views rather than point samples
 (Dobre et al., arXiv:0910.0708) — this package provides both.
 """
 
+# Note: the analyze() *function* is deliberately not re-exported here —
+# it would shadow the repro.obs.analyze submodule attribute of the same
+# name.  Use ``from repro.obs.analyze import analyze``.
+from repro.obs.analyze import (
+    TraceAnalysis,
+    cross_check,
+    load_events,
+    read_trace_file,
+)
+from repro.obs.drift import DriftMonitor, ks_distance
 from repro.obs.history import QosWindow, WindowedQosStore
 from repro.obs.hub import ObservabilityHub
 from repro.obs.trace import TraceEvent, TraceRecorder
 
 __all__ = [
+    "DriftMonitor",
     "ObservabilityHub",
     "QosWindow",
+    "TraceAnalysis",
     "TraceEvent",
     "TraceRecorder",
     "WindowedQosStore",
+    "cross_check",
+    "ks_distance",
+    "load_events",
+    "read_trace_file",
 ]

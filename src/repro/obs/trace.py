@@ -22,6 +22,14 @@ A trace follows one heartbeat across the whole pipeline:
 ``restore``     restore control datagram (or inferred restore) observed
 ==============  ======================================================
 
+Beyond the heartbeat journey, subsystems reuse the same recorder:
+``send-error`` (a daemon outbound send failed; ``detector`` carries the
+datagram kind), ``kv-view``/``kv-promote``/``kv-demote`` (live KV
+failover, :mod:`repro.kv.live`), and ``calibration-drift`` (the
+:class:`~repro.obs.drift.DriftMonitor` flipped an endpoint's verdict;
+``delay`` = window mean, ``timeout`` = baseline mean, ``deadline`` = KS
+distance, ``seq`` = 1 drifted / 0 recovered).
+
 The recorder is engineered for a hot path that almost never runs it:
 emission sites guard on ``tracer is not None``, so the *disabled*
 default costs one pointer comparison.  When enabled, every event lands
@@ -199,11 +207,28 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
-    def tail(self, limit: int = 100) -> List[Dict[str, Any]]:
-        """The most recent ``limit`` events, oldest first, as dicts."""
+    def tail(
+        self,
+        limit: int = 100,
+        *,
+        endpoint: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """The most recent ``limit`` events, oldest first, as dicts.
+
+        ``endpoint`` / ``kind`` filter *before* the limit is applied,
+        so a scoped tail reaches as deep into the ring as it can — a
+        post-mortem on one endpoint never has to download the whole
+        ring to find its spans.
+        """
         if limit < 0:
             raise ValueError(f"limit must be >= 0, got {limit}")
-        events = list(self._ring)
+        events = [
+            event
+            for event in self._ring
+            if (endpoint is None or event.endpoint == endpoint)
+            and (kind is None or event.kind == kind)
+        ]
         if limit < len(events):
             events = events[len(events) - limit:]
         return [event.to_dict() for event in events]

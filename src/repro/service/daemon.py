@@ -37,6 +37,7 @@ import asyncio
 from typing import Any, Dict, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.drift import DriftMonitor
     from repro.obs.history import WindowedQosStore
     from repro.obs.trace import TraceRecorder
 
@@ -94,6 +95,18 @@ class MonitorDaemon:
     own_observability:
         Whether :meth:`stop` closes the tracer/history (default).  Pass
         ``False`` when the caller manages their lifecycle.
+    drift_window:
+        Rolling-window length, in heartbeats per endpoint, of the
+        online :class:`~repro.obs.drift.DriftMonitor` (``0`` disables
+        drift monitoring and the ``/drift`` route).
+    drift_baseline:
+        Optional baseline delay sample shared by every endpoint (e.g. a
+        recorded calibration trace).  Without one each endpoint's first
+        ``drift_window`` delays are frozen as its own baseline.
+    drift_interval:
+        Period, seconds, of the drift evaluations that refresh the
+        ``fd_service_drift_*`` gauges and emit ``calibration-drift``
+        spans (``/drift`` always evaluates fresh).
     """
 
     def __init__(
@@ -116,6 +129,9 @@ class MonitorDaemon:
         own_observability: bool = True,
         max_intake_rate: Optional[float] = None,
         supervise_interval: float = 5.0,
+        drift_window: int = 0,
+        drift_baseline: Optional[Sequence[float]] = None,
+        drift_interval: float = 5.0,
     ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be > 0, got {eta!r}")
@@ -194,6 +210,26 @@ class MonitorDaemon:
         self._http_supervisor: Optional[ComponentSupervisor] = None
         self._http_bound_port: Optional[int] = None
         self.component_restarts: Dict[str, int] = {}
+        # Online profile-drift monitoring (``/drift``; nil cost when off).
+        if drift_window < 0:
+            raise ValueError(f"drift_window must be >= 0, got {drift_window}")
+        if drift_interval <= 0:
+            raise ValueError(
+                f"drift_interval must be > 0, got {drift_interval!r}"
+            )
+        self.drift_interval = float(drift_interval)
+        self.drift: Optional["DriftMonitor"] = None
+        if drift_window > 0:
+            from repro.obs.drift import DriftMonitor
+
+            self.drift = DriftMonitor(
+                window_samples=drift_window,
+                baseline=drift_baseline,
+                baseline_samples=drift_window,
+                tracer=tracer,
+            )
+        self._drift_handle = None
+        self._drift_policy = RestartPolicy(seed=3)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -245,6 +281,8 @@ class MonitorDaemon:
         self._running = True
         if self.obs.history is not None and self.snapshot_interval > 0:
             self._arm_snapshot_timer()
+        if self.drift is not None:
+            self._arm_drift_timer()
 
     async def stop(self, *, drain: float = 1.0) -> None:
         """Graceful shutdown with bounded drain (idempotent).
@@ -268,6 +306,9 @@ class MonitorDaemon:
         if self._snapshot_handle is not None:
             self._snapshot_handle.cancel()
             self._snapshot_handle = None
+        if self._drift_handle is not None:
+            self._drift_handle.cancel()
+            self._drift_handle = None
         if self.obs.history is not None:
             # Final snapshot so the persisted trend covers the full run.
             self._take_snapshots()
@@ -379,16 +420,27 @@ class MonitorDaemon:
                     return
             self.heartbeats_total += 1
             tracer = self.obs.tracer
-            if tracer is not None and message.seq is not None:
+            if (
+                tracer is not None or self.drift is not None
+            ) and message.seq is not None:
                 now = self.scheduler.now
                 delay = (
                     now - message.timestamp
                     if message.timestamp is not None
                     else None
                 )
-                tracer.emit(
-                    now, "receive", message.source, seq=message.seq, delay=delay
-                )
+                if tracer is not None:
+                    tracer.emit(
+                        now,
+                        "receive",
+                        message.source,
+                        seq=message.seq,
+                        delay=delay,
+                    )
+                if self.drift is not None and delay is not None:
+                    self.drift.observe(
+                        message.source, now, delay, seq=message.seq
+                    )
             monitor.deliver(message)
         elif message.kind == "crash":
             if monitor is None:
@@ -468,11 +520,15 @@ class MonitorDaemon:
             self.send_errors_total += 1
             tracer = self.obs.tracer
             if tracer is not None:
+                # The span kind is "send-error"; the failed datagram's
+                # own kind rides in the detector field (emit()'s second
+                # positional is the span kind, so a kind= kwarg here
+                # used to raise TypeError and kill the send path).
                 tracer.emit(
                     self.scheduler.now,
                     "send-error",
                     message.destination,
-                    kind=message.kind,
+                    detector=message.kind,
                 )
             return False
         self.sent_datagrams += 1
@@ -520,6 +576,28 @@ class MonitorDaemon:
         self._snapshot_policy.reset()
         if self._running:
             self._arm_snapshot_timer()
+
+    def _arm_drift_timer(self, delay: Optional[float] = None) -> None:
+        self._drift_handle = self.scheduler.schedule(
+            delay if delay is not None else self.drift_interval,
+            self._drift_tick,
+            name="obs:drift",
+        )
+
+    def _drift_tick(self) -> None:
+        try:
+            assert self.drift is not None
+            self.drift.evaluate(self.scheduler.now)
+        except Exception:
+            # Supervised like the snapshot loop: a sick evaluation must
+            # not end drift monitoring for the rest of the run.
+            self._count_component_restart("drift")
+            if self._running:
+                self._arm_drift_timer(self._drift_policy.next_delay())
+            return
+        self._drift_policy.reset()
+        if self._running:
+            self._arm_drift_timer()
 
     def _count_component_restart(self, name: str) -> None:
         self.component_restarts[name] = self.component_restarts.get(name, 0) + 1
@@ -603,16 +681,36 @@ class MonitorDaemon:
             "endpoints": endpoints,
         }
 
-    def trace_tail(self, limit: int = 100) -> Dict[str, Any]:
+    def trace_tail(
+        self,
+        limit: int = 100,
+        *,
+        endpoint: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """The most recent trace events (the ``/trace`` payload).
 
-        Requires a trace recorder; raises :class:`RuntimeError` without
-        one.
+        ``endpoint``/``kind`` scope the tail before the limit applies
+        (see :meth:`TraceRecorder.tail`).  Requires a trace recorder;
+        raises :class:`RuntimeError` without one.
         """
         tracer = self.obs.tracer
         if tracer is None:
             raise RuntimeError("tracing is not enabled")
-        return {"events": tracer.tail(limit), "recorder": tracer.stats()}
+        return {
+            "events": tracer.tail(limit, endpoint=endpoint, kind=kind),
+            "recorder": tracer.stats(),
+        }
+
+    def drift_report(self) -> Dict[str, Any]:
+        """A fresh drift evaluation (the ``/drift`` payload).
+
+        Requires drift monitoring (``drift_window > 0``); raises
+        :class:`RuntimeError` without it.
+        """
+        if self.drift is None:
+            raise RuntimeError("drift monitoring is not enabled")
+        return self.drift.evaluate(self.scheduler.now)
 
     # ------------------------------------------------------------------
     # Export

@@ -403,6 +403,12 @@ class IncrementalExporter:
         if kv is not None:
             kv.render_metrics(lines, header)
 
+        # Profile-drift gauges, when drift monitoring is enabled
+        # (repro.obs.drift; values as of the last periodic evaluation).
+        drift = getattr(daemon, "drift", None)
+        if drift is not None:
+            drift.render_metrics(lines, header)
+
         monitors = sorted(daemon.registry, key=lambda m: m.name)
         header(
             "fd_endpoint_heartbeats_total",

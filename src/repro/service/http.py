@@ -8,11 +8,15 @@ route                      behaviour
 ``GET /metrics``           Prometheus text exposition (0.0.4)
 ``GET /status``            JSON status document
 ``GET /healthz``           liveness probe (``ok``)
-``GET /trace``             recent span events (``?limit=N``); 404 when
-                           tracing is disabled
+``GET /trace``             recent span events (``?limit=N`` plus
+                           optional ``endpoint``/``kind`` filters); 404
+                           when tracing is disabled
 ``GET /qos``               windowed QoS (``?window=SECONDS`` plus
                            optional ``endpoint``/``detector`` filters);
                            404 when no history store is configured
+``GET /drift``             fresh profile-drift evaluation (KS distance,
+                           moment/loss drift per endpoint); 404 when
+                           drift monitoring is disabled
 ``POST /endpoints``        register an endpoint (body ``{"name": ...}``)
 ``DELETE /endpoints/<n>``  deregister endpoint ``<n>``
 =========================  ==============================================
@@ -154,6 +158,8 @@ class MetricsHttpServer:
             return self._route_trace(query)
         if method == "GET" and path == "/qos":
             return self._route_qos(query)
+        if method == "GET" and path == "/drift":
+            return self._route_drift()
         if method == "GET" and path == "/metrics":
             return (
                 200,
@@ -190,7 +196,15 @@ class MetricsHttpServer:
             except KeyError:
                 return 404, "text/plain", b"no such endpoint\n"
             return 200, "application/json", json.dumps({"removed": name}).encode()
-        if path in ("/metrics", "/status", "/healthz", "/endpoints", "/trace", "/qos"):
+        if path in (
+            "/metrics",
+            "/status",
+            "/healthz",
+            "/endpoints",
+            "/trace",
+            "/qos",
+            "/drift",
+        ):
             return 405, "text/plain", b"method not allowed\n"
         return 404, "text/plain", b"not found\n"
 
@@ -213,9 +227,20 @@ class MetricsHttpServer:
         if limit <= 0:
             return 400, "text/plain", b"limit must be > 0\n"
         try:
-            payload = self._daemon.trace_tail(limit)
+            payload = self._daemon.trace_tail(
+                limit,
+                endpoint=params.get("endpoint"),
+                kind=params.get("kind"),
+            )
         except RuntimeError:
             return 404, "text/plain", b"tracing is not enabled\n"
+        return 200, "application/json", json.dumps(payload).encode("utf-8")
+
+    def _route_drift(self) -> Tuple[int, str, bytes]:
+        try:
+            payload = self._daemon.drift_report()
+        except RuntimeError:
+            return 404, "text/plain", b"drift monitoring is not enabled\n"
         return 200, "application/json", json.dumps(payload).encode("utf-8")
 
     def _route_qos(self, query: str) -> Tuple[int, str, bytes]:

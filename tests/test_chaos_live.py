@@ -198,6 +198,79 @@ class TestDaemonSurvivesChaos:
 
         run(main())
 
+    def test_recorded_trace_reproduces_online_qos(self, tmp_path):
+        """The PR's acceptance criterion: ``repro trace-analyze`` on a
+        trace recorded from a chaos-scenario daemon run reproduces the
+        online accumulators' QoS numbers from spans alone."""
+        import os
+
+        import repro.obs.analyze as obs_analyze
+        from repro.nekostat.metrics import DetectorQos
+
+        # CI points CHAOS_TRACE_DIR at a workspace directory so the
+        # recorded trace survives the run and is uploaded as an
+        # artifact when the chaos suite fails.
+        trace_dir = os.environ.get("CHAOS_TRACE_DIR")
+        if trace_dir:
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_path = os.path.join(trace_dir, "acceptance-fd-trace.jsonl")
+        else:
+            trace_path = str(tmp_path / "fd-trace.jsonl")
+        plan = (
+            FaultPlan.build(name="acceptance", seed=2)
+            .loss_burst(0.5, 2.0, 0.7)
+            .delay_spike(2.5, 3.5, 0.4)
+            .done()
+        )
+        report = run(run_daemon_scenario_async(
+            plan, duration=6.0, eta=0.15,
+            endpoints=("node-1", "node-2"), trace_path=trace_path,
+        ))
+        assert report["survived"]
+        events = obs_analyze.load_events([trace_path])
+        assert events, "the scenario must have recorded spans"
+        analysis = obs_analyze.analyze(events, end_time=report["now"])
+        # Rebuild the reference from the report's accumulator briefs.
+        problems = []
+        for endpoint, entry in report["endpoints"].items():
+            for detector, brief in entry["qos"].items():
+                span_qos = analysis.qos.get((endpoint, detector))
+                if span_qos is None:
+                    if brief["mistakes"] or brief["td_samples"]:
+                        problems.append(f"{endpoint}/{detector} missing")
+                    continue
+                qos = span_qos.qos
+                if len(qos.mistakes) != brief["mistakes"]:
+                    problems.append(
+                        f"{endpoint}/{detector} mistakes "
+                        f"{len(qos.mistakes)} != {brief['mistakes']}"
+                    )
+                if len(qos.td_samples) != brief["td_samples"]:
+                    problems.append(f"{endpoint}/{detector} td count")
+                if abs(qos.p_a - brief["p_a"]) > 1e-3:
+                    problems.append(
+                        f"{endpoint}/{detector} P_A {qos.p_a} "
+                        f"vs {brief['p_a']}"
+                    )
+                assert span_qos.inconsistencies == 0
+        assert not problems, problems
+        # At least one series actually exercised the mistake machinery
+        # (the loss burst lasts ~10 heartbeat periods per endpoint).
+        assert any(
+            brief["mistakes"] > 0
+            for entry in report["endpoints"].values()
+            for brief in entry["qos"].values()
+        ), "chaos plan should have induced at least one mistake"
+        # cross_check agrees with the same data via the public surface.
+        reference = {}
+        for endpoint, entry in report["endpoints"].items():
+            for detector, brief in entry["qos"].items():
+                mirror = analysis.qos.get((endpoint, detector))
+                if mirror is not None:
+                    reference[(endpoint, detector)] = mirror.qos
+        assert isinstance(next(iter(reference.values())), DetectorQos)
+        assert obs_analyze.cross_check(analysis, reference) == []
+
     def test_load_shedding_is_bounded_and_counted(self):
         report = run(run_daemon_scenario_async(
             FaultPlan(name="empty"),

@@ -50,7 +50,9 @@ class TestLiveFailover:
             await daemon.start()
             names = ["kv-a", "kv-b"]
             nodes = [
-                LiveKvNode(name, names, daemon.udp_endpoint, eta=0.1)
+                LiveKvNode(
+                    name, names, daemon.udp_endpoint, eta=0.1, tracer=tracer
+                )
                 for name in names
             ]
             client = None
@@ -104,6 +106,17 @@ class TestLiveFailover:
                 kinds = {event["kind"] for event in tracer.tail(8192)}
                 assert {"crash", "suspect", "kv-demote", "kv-promote",
                         "kv-view"} <= kinds
+                # ...including send spans from the KV replicas' own
+                # heartbeat emitters (the shared tracer is threaded
+                # through LiveKvNode), wall-time and seq on every one.
+                kv_sends = [
+                    event for event in tracer.tail(8192, kind="send")
+                    if event["endpoint"] in names
+                ]
+                assert kv_sends
+                assert all(
+                    "seq" in event and "t" in event for event in kv_sends
+                )
                 # ...and on /metrics.
                 metrics = daemon.exporter.render()
                 assert "fd_kv_epoch" in metrics

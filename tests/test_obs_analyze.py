@@ -1,0 +1,416 @@
+"""Trace-driven analysis: loading, hop joins, QoS-from-spans, post-mortems.
+
+The unit layer builds synthetic span streams by hand (so every join and
+boundary is exact); the equivalence layer replays the same synthetic
+transitions through a live :class:`OnlineQosAccumulator` and asserts the
+span replay matches it; the CLI layer drives ``repro trace-analyze`` and
+``repro postmortem`` end to end over JSONL files.  The live acceptance
+test (a chaos-scenario daemon run whose trace reproduces the online
+accumulators) lives in ``tests/test_chaos_live.py`` with the other
+network-marked scenarios.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.nekostat.metrics import OnlineQosAccumulator
+from repro.obs import TraceRecorder, WindowedQosStore
+from repro.obs.analyze import (
+    HOPS,
+    analyze,
+    cross_check,
+    history_reference,
+    hop_breakdown,
+    load_events,
+    post_mortems,
+    qos_from_spans,
+    read_trace_file,
+    rotated_paths,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def span(t, kind, endpoint, **extra):
+    record = {"t": t, "kind": kind, "endpoint": endpoint}
+    record.update(extra)
+    return record
+
+
+def heartbeat_journey(endpoint, seq, send_t, *, delay=0.1, route=0.001,
+                      decide=0.002, detector="fd"):
+    """The four spans of one clean heartbeat through the pipeline."""
+    receive_t = send_t + delay
+    fanout_t = receive_t + route
+    decide_t = fanout_t + decide
+    return [
+        span(send_t, "send", endpoint, seq=seq),
+        span(receive_t, "receive", endpoint, seq=seq, delay=delay),
+        span(fanout_t, "fanout", endpoint, seq=seq),
+        span(decide_t, "freshness", endpoint, seq=seq, detector=detector,
+             timeout=0.3, deadline=decide_t + 1.0),
+    ]
+
+
+class TestLoading:
+    def test_rotated_paths_orders_oldest_first(self, tmp_path):
+        live = tmp_path / "trace.jsonl"
+        for name in ("trace.jsonl", "trace.jsonl.1", "trace.jsonl.2"):
+            (tmp_path / name).write_text("")
+        assert rotated_paths(str(live)) == [
+            str(tmp_path / "trace.jsonl.2"),
+            str(tmp_path / "trace.jsonl.1"),
+            str(live),
+        ]
+
+    def test_read_trace_spans_rotation_boundary(self, tmp_path):
+        """Events written across a rotation read back in emit order."""
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(str(path), max_bytes=4096, backups=2)
+        padding = "x" * 100
+        total = 300
+        for i in range(total):
+            recorder.emit(float(i), "send", padding, seq=i)
+        recorder.close()
+        assert recorder.rotations_total >= 1
+        events = read_trace_file(str(path))
+        seqs = [e["seq"] for e in events]
+        # Generations beyond the backup budget are gone, but what
+        # survives is contiguous and ends at the newest event.
+        assert seqs == list(range(seqs[0], total))
+
+    def test_read_trace_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(span(1.0, "send", "q", seq=0)) + "\n"
+            + '{"t": 2.0, "kind": "se'  # interrupted writer
+        )
+        events = read_trace_file(str(path))
+        assert len(events) == 1 and events[0]["seq"] == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace_file(str(tmp_path / "nope.jsonl"))
+        with pytest.raises(ValueError):
+            load_events([])
+
+    def test_merge_sorts_by_time_stably(self, tmp_path):
+        daemon_trace = tmp_path / "fd.jsonl"
+        emitter_trace = tmp_path / "hb.jsonl"
+        daemon_trace.write_text(
+            "".join(json.dumps(span(t, "receive", "q", seq=i, delay=0.1))
+                    + "\n" for i, t in enumerate((1.1, 2.1)))
+        )
+        emitter_trace.write_text(
+            "".join(json.dumps(span(t, "send", "q", seq=i)) + "\n"
+                    for i, t in enumerate((1.0, 2.0)))
+        )
+        merged = load_events([str(daemon_trace), str(emitter_trace)])
+        assert [e["kind"] for e in merged] == [
+            "send", "receive", "send", "receive",
+        ]
+
+
+class TestHopBreakdown:
+    def test_clean_journeys_produce_all_hops(self):
+        events = []
+        for seq in range(20):
+            events.extend(heartbeat_journey("q", seq, float(seq)))
+        hops = hop_breakdown(events)["q"]
+        assert set(hops) == set(HOPS)
+        assert hops["emit_to_intake"].count == 20
+        assert hops["emit_to_intake"].p50 == pytest.approx(0.1)
+        assert hops["intake_to_fanout"].p50 == pytest.approx(0.001)
+        assert hops["fanout_to_decision"].p50 == pytest.approx(0.002)
+        assert hops["total"].p50 == pytest.approx(0.103)
+        assert hops["total"].maximum >= hops["total"].p99 >= hops["total"].p50
+
+    def test_emit_time_recovered_from_receive_delay(self):
+        """Daemon-only traces (no send spans) still yield the network hop."""
+        events = []
+        for seq in range(5):
+            events.extend(heartbeat_journey("q", seq, float(seq))[1:])
+        hops = hop_breakdown(events)["q"]
+        assert hops["emit_to_intake"].count == 5
+        assert hops["emit_to_intake"].p50 == pytest.approx(0.1)
+        assert hops["total"].p50 == pytest.approx(0.103)
+
+    def test_freshness_per_detector_each_sampled(self):
+        events = heartbeat_journey("q", 0, 0.0)
+        # A second detector consumes the same heartbeat a bit later.
+        events.append(span(0.105, "freshness", "q", seq=0, detector="fd2",
+                           timeout=0.3, deadline=1.105))
+        hops = hop_breakdown(events)["q"]
+        assert hops["fanout_to_decision"].count == 2
+
+    def test_incomplete_journeys_are_skipped(self):
+        events = [span(0.0, "send", "q", seq=0)]  # never received
+        assert hop_breakdown(events) == {}
+
+
+class TestQosFromSpans:
+    def test_replay_matches_online_accumulator(self):
+        """The heart of the tentpole: spans alone reproduce the live QoS."""
+        transitions = [
+            (2.0, "suspect"), (2.5, "trust"),        # mistake
+            (5.0, "crash"), (5.8, "suspect"),        # detection
+            (9.0, "restore"), (9.1, "trust"),
+            (11.0, "suspect"), (11.2, "trust"),      # second mistake
+        ]
+        events = [span(0.0, "fanout", "q", seq=0)]
+        live = OnlineQosAccumulator("fd", start_time=2.0)
+        for t, kind in transitions:
+            detector = "" if kind in ("crash", "restore") else "fd"
+            events.append(span(t, kind, "q", detector=detector, seq=1))
+            getattr(live, f"observe_{kind}")(t)
+        replayed = qos_from_spans(events, end_time=15.0)
+        assert set(replayed) == {("q", "fd")}
+        result = replayed[("q", "fd")]
+        expected = live.snapshot(15.0)
+        assert result.qos.td_samples == expected.td_samples
+        assert len(result.qos.mistakes) == len(expected.mistakes)
+        assert result.qos.p_a == pytest.approx(expected.p_a)
+        assert result.qos.up_time == pytest.approx(expected.up_time)
+        assert not result.suspecting_at_end
+        assert result.inconsistencies == 0
+
+    def test_crash_fans_out_to_detector_seen_later(self):
+        """A crash span precedes the detector's first transition: the
+        second discovery pass must still deliver it to that series."""
+        events = [
+            span(1.0, "crash", "q"),
+            span(1.4, "suspect", "q", detector="fd"),
+            span(3.0, "restore", "q"),
+            span(3.1, "trust", "q", detector="fd"),
+        ]
+        result = qos_from_spans(events, end_time=5.0)[("q", "fd")]
+        assert result.qos.td_samples == pytest.approx([0.4])
+        assert result.qos.mistakes == []
+
+    def test_detector_filter(self):
+        events = [
+            span(1.0, "suspect", "q", detector="fd"),
+            span(1.5, "trust", "q", detector="fd"),
+            span(1.0, "suspect", "q", detector="other"),
+            span(1.5, "trust", "q", detector="other"),
+        ]
+        replayed = qos_from_spans(events, detectors=["fd"])
+        assert set(replayed) == {("q", "fd")}
+
+    def test_out_of_order_transition_counted_not_fatal(self):
+        events = [
+            span(2.0, "suspect", "q", detector="fd"),
+            span(1.0, "trust", "q", detector="fd"),  # goes backwards
+            span(3.0, "trust", "q", detector="fd"),
+        ]
+        result = qos_from_spans(events, end_time=4.0)[("q", "fd")]
+        assert result.inconsistencies == 1
+        assert len(result.qos.mistakes) == 1
+
+
+class TestPostMortems:
+    def _mistake_trace(self):
+        events = heartbeat_journey("q", 7, 0.0)
+        deadline = events[-1]["deadline"]  # 1.103
+        events.append(span(deadline, "suspect", "q", detector="fd", seq=7))
+        # The resolving heartbeat limped in 0.4s past the freshness point
+        # with a 0.5s one-way delay: 0.1s less delay would have saved it.
+        events.append(span(deadline + 0.4, "receive", "q", seq=8, delay=0.5))
+        events.append(span(deadline + 0.401, "trust", "q", detector="fd",
+                           seq=8))
+        return events, deadline
+
+    def test_mistake_post_mortem_reconstructs_cause(self):
+        events, deadline = self._mistake_trace()
+        [mortem] = post_mortems(events)
+        assert mortem.kind == "mistake"
+        assert mortem.freshness_seq == 7
+        assert mortem.prediction == pytest.approx(0.3)
+        assert mortem.deadline == pytest.approx(deadline)
+        assert mortem.duration == pytest.approx(0.401)
+        assert mortem.margin == pytest.approx(0.4)
+        [preventer] = mortem.preventers
+        assert preventer["seq"] == 8
+        assert preventer["late_by"] == pytest.approx(0.4)
+        assert preventer["preventing_delay"] == pytest.approx(0.1)
+
+    def test_crash_detection_is_not_a_mistake(self):
+        events = [
+            span(1.0, "crash", "q"),
+            span(1.9, "suspect", "q", detector="fd", seq=3),
+        ]
+        [mortem] = post_mortems(events)
+        assert mortem.kind == "detection"
+        assert mortem.trust_t is None and mortem.duration is None
+
+    def test_endpoint_and_detector_filters(self):
+        events, _ = self._mistake_trace()
+        assert post_mortems(events, endpoint="other") == []
+        assert post_mortems(events, detector="other") == []
+        assert len(post_mortems(events, endpoint="q", detector="fd")) == 1
+
+
+class TestAnalyzeAndCrossCheck:
+    def test_analyze_aggregates_everything(self):
+        events, _ = TestPostMortems()._mistake_trace()
+        analysis = analyze(events, end_time=3.0)
+        assert analysis.events_total == len(events)
+        assert analysis.kinds["suspect"] == 1
+        assert analysis.time_span[0] == 0.0
+        assert ("q", "fd") in analysis.qos
+        assert len(analysis.mortems) == 1
+        document = analysis.to_dict()
+        assert document["qos"]["q"]["fd"]["mistakes"] == 1
+        json.dumps(document)  # JSON-able end to end
+
+    def test_cross_check_agrees_with_identical_reference(self):
+        events, _ = TestPostMortems()._mistake_trace()
+        analysis = analyze(events, end_time=3.0)
+        reference = {("q", "fd"): analysis.qos[("q", "fd")].qos}
+        assert cross_check(analysis, reference) == []
+
+    def test_cross_check_flags_count_and_pa_disagreement(self):
+        events, _ = TestPostMortems()._mistake_trace()
+        analysis = analyze(events, end_time=3.0)
+        other = OnlineQosAccumulator("fd", start_time=0.0)
+        other.observe_suspect(1.0)
+        other.observe_trust(1.2)
+        other.observe_suspect(2.0)
+        other.observe_trust(2.8)
+        problems = cross_check(
+            analysis, {("q", "fd"): other.snapshot(3.0)}
+        )
+        assert any("mistakes" in p for p in problems)
+        assert any("P_A" in p for p in problems)
+
+    def test_cross_check_missing_series(self):
+        analysis = analyze([], end_time=1.0)
+        busy = OnlineQosAccumulator("fd", start_time=0.0)
+        busy.observe_suspect(0.5)
+        busy.observe_trust(0.6)
+        problems = cross_check(analysis, {("q", "fd"): busy.snapshot(1.0)})
+        assert problems == ["q/fd: missing from trace"]
+
+    def test_history_reference_takes_newest_snapshot(self):
+        store = WindowedQosStore()
+        accumulator = OnlineQosAccumulator("fd")
+        accumulator.observe_suspect(1.0)
+        accumulator.observe_trust(2.0)
+        store.record_snapshot("q", "fd", 3.0, accumulator.snapshot(3.0))
+        store.record_snapshot("q", "fd", 6.0, accumulator.snapshot(6.0))
+        reference = history_reference(store)
+        assert set(reference) == {("q", "fd")}
+        assert reference[("q", "fd")].observation_time == pytest.approx(6.0)
+        store.close()
+
+
+class TestCli:
+    def _write_trace(self, tmp_path):
+        events, _ = TestPostMortems()._mistake_trace()
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(event) + "\n" for event in events)
+        )
+        return str(path)
+
+    def test_trace_analyze_text(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert cli_main(["trace-analyze", "--input", path]) == 0
+        out = capsys.readouterr().out
+        assert "per-hop latency" in out
+        assert "emit_to_intake" in out
+        assert "QoS replayed from spans" in out
+        assert "post-mortems: 1 suspicions (1 mistakes)" in out
+
+    def test_trace_analyze_json(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert cli_main(["trace-analyze", "--input", path, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["qos"]["q"]["fd"]["mistakes"] == 1
+        assert document["hops"]["q"]["emit_to_intake"]["count"] >= 1
+
+    def test_trace_analyze_cross_check_roundtrip(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        db = str(tmp_path / "qos.sqlite")
+        store = WindowedQosStore(db)
+        mirror = OnlineQosAccumulator("fd", start_time=1.103)
+        mirror.observe_suspect(1.103)
+        mirror.observe_trust(1.504)
+        store.record_snapshot("q", "fd", 1.504, mirror.snapshot(1.504))
+        store.close()
+        assert cli_main([
+            "trace-analyze", "--input", path, "--end", "1.504",
+            "--history-db", db,
+        ]) == 0
+        assert "1 series agree" in capsys.readouterr().out
+
+    def test_cross_check_defaults_end_to_history_newest_time(
+        self, tmp_path, capsys
+    ):
+        """A daemon that outlives the last span leaves open suspicions
+        accruing wall time until its shutdown snapshot; without --end
+        the replay must close at the store's newest recorded time, not
+        at the last span, or every open interval disagrees."""
+        events, _ = TestPostMortems()._mistake_trace()
+        events.append(span(2.0, "suspect", "q", detector="fd", seq=9))
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(event) + "\n" for event in events)
+        )
+        db = str(tmp_path / "qos.sqlite")
+        store = WindowedQosStore(db)
+        mirror = OnlineQosAccumulator("fd", start_time=1.103)
+        mirror.observe_suspect(1.103)
+        mirror.observe_trust(1.504)
+        mirror.observe_suspect(2.0)
+        store.record_snapshot("q", "fd", 5.0, mirror.snapshot(5.0))
+        store.close()
+        assert cli_main([
+            "trace-analyze", "--input", str(path), "--history-db", db,
+        ]) == 0
+        assert "1 series agree" in capsys.readouterr().out
+
+    def test_trace_analyze_cross_check_disagreement_exits_1(
+        self, tmp_path, capsys
+    ):
+        path = self._write_trace(tmp_path)
+        db = str(tmp_path / "qos.sqlite")
+        store = WindowedQosStore(db)
+        liar = OnlineQosAccumulator("fd", start_time=0.0)
+        store.record_snapshot("q", "fd", 3.0, liar.snapshot(3.0))
+        store.close()
+        assert cli_main([
+            "trace-analyze", "--input", path, "--history-db", db,
+        ]) == 1
+        assert "disagreement" in capsys.readouterr().out
+
+    def test_trace_analyze_missing_input(self, tmp_path, capsys):
+        assert cli_main([
+            "trace-analyze", "--input", str(tmp_path / "nope.jsonl"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_postmortem_text_and_json(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert cli_main(["postmortem", "--input", path]) == 0
+        out = capsys.readouterr().out
+        assert "mistake q/fd" in out
+        assert "would have prevented" in out
+        assert cli_main(["postmortem", "--input", path, "--json"]) == 0
+        [line] = capsys.readouterr().out.strip().splitlines()
+        mortem = json.loads(line)
+        assert mortem["endpoint"] == "q"
+        assert mortem["margin"] == pytest.approx(0.4)
+
+    def test_postmortem_filters_and_limit(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert cli_main([
+            "postmortem", "--input", path, "--endpoint", "other",
+        ]) == 0
+        assert "no suspicions" in capsys.readouterr().out
+        assert cli_main([
+            "postmortem", "--input", path, "--limit", "1", "--json",
+        ]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1

@@ -414,6 +414,93 @@ class TestTracedLoopbackIntegration:
 
 
 # ----------------------------------------------------------------------
+# /trace query filters and /drift over real HTTP
+# ----------------------------------------------------------------------
+@pytest.mark.network
+class TestTraceRouteFilters:
+    def test_trace_route_endpoint_and_kind_filters(self):
+        async def main():
+            tracer = TraceRecorder(None, ring_capacity=256)
+            daemon = MonitorDaemon(
+                port=0, http_port=0, eta=0.5, detector_ids=[DETECTOR],
+                tracer=tracer,
+            )
+            await daemon.start()
+            try:
+                for seq in range(3):
+                    _heartbeat(daemon, seq)
+                daemon.dispatch(
+                    Datagram(
+                        source="other", destination="monitor",
+                        kind="heartbeat", seq=0,
+                        timestamp=daemon.scheduler.now,
+                    )
+                )
+                host, port = daemon.http_endpoint
+
+                async def fetch(path):
+                    status, body = await _http(host, port, "GET", path)
+                    return status, body
+
+                status, body = await fetch("/trace?endpoint=ep")
+                assert status == 200
+                events = json.loads(body)["events"]
+                assert events
+                assert {e["endpoint"] for e in events} == {"ep"}
+
+                status, body = await fetch("/trace?kind=receive")
+                assert status == 200
+                events = json.loads(body)["events"]
+                assert {e["kind"] for e in events} == {"receive"}
+                assert {e["endpoint"] for e in events} == {"ep", "other"}
+
+                status, body = await fetch(
+                    "/trace?endpoint=other&kind=receive&limit=2"
+                )
+                assert status == 200
+                events = json.loads(body)["events"]
+                assert len(events) == 1
+                assert events[0]["endpoint"] == "other"
+
+                status, body = await fetch("/trace?limit=bogus")
+                assert status == 400
+            finally:
+                await daemon.stop()
+
+        run(main(), timeout=30.0)
+
+    def test_drift_route_serves_when_enabled(self):
+        async def main():
+            daemon = MonitorDaemon(
+                port=0, http_port=0, eta=0.5, detector_ids=[DETECTOR],
+                drift_window=8,
+            )
+            await daemon.start()
+            try:
+                for seq in range(4):
+                    _heartbeat(daemon, seq)
+                host, port = daemon.http_endpoint
+                status, body = await _http(host, port, "GET", "/drift")
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["window_samples"] == 8
+                assert "ep" in payload["endpoints"]
+                # /drift evaluates fresh on every request.
+                status, body = await _http(host, port, "GET", "/drift")
+                assert json.loads(body)["evaluations_total"] > (
+                    payload["evaluations_total"]
+                )
+                # The gauges ride the same exporter head as everything
+                # else once an evaluation has happened.
+                metrics = daemon.metrics_text()
+                assert "fd_service_drift_evaluations_total" in metrics
+            finally:
+                await daemon.stop()
+
+        run(main(), timeout=30.0)
+
+
+# ----------------------------------------------------------------------
 # `repro serve-monitor --trace` subprocess smoke test
 # ----------------------------------------------------------------------
 _HTTP_LINE = re.compile(r"monitor: metrics on http://([\d.]+):(\d+)/metrics")

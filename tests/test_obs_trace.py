@@ -74,6 +74,30 @@ class TestTraceRecorderRing:
         with pytest.raises(ValueError):
             TraceRecorder(backups=-1)
 
+    def test_tail_filters_by_endpoint_and_kind(self):
+        recorder = TraceRecorder(ring_capacity=64)
+        for i in range(4):
+            recorder.emit(float(i), "send", "a", seq=i)
+            recorder.emit(float(i) + 0.1, "receive", "a", seq=i, delay=0.1)
+            recorder.emit(float(i) + 0.2, "send", "b", seq=i)
+        only_a = recorder.tail(64, endpoint="a")
+        assert {e["endpoint"] for e in only_a} == {"a"}
+        assert len(only_a) == 8
+        sends = recorder.tail(64, kind="send")
+        assert {e["kind"] for e in sends} == {"send"}
+        assert len(sends) == 8
+        a_sends = recorder.tail(64, endpoint="a", kind="send")
+        assert [e["seq"] for e in a_sends] == [0, 1, 2, 3]
+        assert recorder.tail(64, endpoint="nope") == []
+
+    def test_tail_filter_applies_before_limit(self):
+        """A scoped tail digs past newer events of other endpoints."""
+        recorder = TraceRecorder(ring_capacity=64)
+        recorder.emit(0.0, "send", "a", seq=0)
+        for i in range(10):
+            recorder.emit(1.0 + i, "send", "b", seq=i)
+        assert [e["seq"] for e in recorder.tail(2, endpoint="a")] == [0]
+
 
 class TestTraceRecorderFile:
     def test_jsonl_lines_parse(self, tmp_path):
@@ -104,6 +128,54 @@ class TestTraceRecorderFile:
         for name in ("trace.jsonl", "trace.jsonl.1", "trace.jsonl.2"):
             for line in (tmp_path / name).read_text().splitlines():
                 json.loads(line)
+
+    def test_rotation_mid_burst_loses_nothing(self, tmp_path):
+        """Rotate in the middle of a dense burst: counting every line in
+        every surviving generation accounts for every emitted event."""
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(str(path), max_bytes=4096, backups=8)
+        payload = "y" * 100
+        total = 250
+        for i in range(total):
+            recorder.emit(float(i), "send", payload, seq=i)
+        recorder.close()
+        assert recorder.rotations_total >= 2
+        seqs = []
+        names = [f"trace.jsonl.{n}" for n in
+                 range(recorder.rotations_total, 0, -1)] + ["trace.jsonl"]
+        for name in names:
+            generation = tmp_path / name
+            if generation.exists():
+                for line in generation.read_text().splitlines():
+                    seqs.append(json.loads(line)["seq"])
+        assert seqs == list(range(total))
+
+    def test_reopen_after_close_appends(self, tmp_path):
+        """A new recorder on an existing path appends (daemon restart)."""
+        path = tmp_path / "trace.jsonl"
+        first = TraceRecorder(str(path))
+        first.emit(0.0, "send", "q", seq=0)
+        first.close()
+        second = TraceRecorder(str(path))
+        second.emit(1.0, "send", "q", seq=1)
+        second.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_tail_continuity_across_rotation(self, tmp_path):
+        """The in-memory ring is oblivious to file rotation: the tail
+        stays contiguous straight through a rotation boundary."""
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder(
+            str(path), ring_capacity=512, max_bytes=4096, backups=1
+        )
+        payload = "z" * 100
+        for i in range(120):
+            recorder.emit(float(i), "send", payload, seq=i)
+        assert recorder.rotations_total >= 1
+        seqs = [e["seq"] for e in recorder.tail(512)]
+        assert seqs == list(range(120))
+        recorder.close()
 
     def test_close_is_idempotent_and_emit_noops_after(self, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -181,3 +253,76 @@ class TestDetectorEmission:
         detector = _traced_scenario(sim, event_log, None)
         sim.run(until=10.0)
         assert detector.heartbeats_seen == 10
+
+
+class TestSendSpanRegression:
+    """Satellite guarantees: every ``send`` span carries the emitter's
+    wall-time and sequence, so breakdowns never have to infer the emit
+    time; and a failing daemon socket emits a well-formed ``send-error``
+    span instead of raising (the span kind collides with ``emit()``'s
+    positional, so the datagram kind must ride in ``detector``)."""
+
+    def test_emitter_send_span_time_equals_datagram_timestamp(self):
+        import asyncio
+
+        from repro.service.heartbeat import HeartbeatEmitter
+        from repro.service.runtime import AsyncioScheduler
+
+        async def main():
+            scheduler = AsyncioScheduler()
+            tracer = TraceRecorder(ring_capacity=64)
+            datagrams = []
+            emitter = HeartbeatEmitter(
+                "ep", datagrams.append, scheduler, eta=0.02, tracer=tracer
+            )
+            emitter.start()
+            # fdlint: disable=clock-discipline (live emitter test runs on the wall clock by contract)
+            await asyncio.sleep(0.2)
+            emitter.stop()
+            spans = tracer.tail(64, kind="send")
+            assert len(spans) >= 3
+            assert len(spans) == len(datagrams)
+            for span, datagram in zip(spans, datagrams):
+                # The span's t IS the datagram's wire timestamp — the
+                # same scheduler read, not a second sample.
+                assert span["t"] == datagram.timestamp
+                assert span["seq"] == datagram.seq
+                assert span["endpoint"] == "ep"
+
+        asyncio.run(asyncio.wait_for(main(), timeout=10.0))
+
+    def test_daemon_send_error_emits_span_not_typeerror(self):
+        import asyncio
+
+        from repro.net.message import Datagram
+        from repro.service import MonitorDaemon
+
+        class BrokenTransport:
+            def is_closing(self):
+                return False
+
+            def sendto(self, data, addr):
+                raise OSError("socket gone")
+
+        async def main():
+            tracer = TraceRecorder(ring_capacity=16)
+            daemon = MonitorDaemon(
+                port=0, http_port=None, eta=0.5, tracer=tracer
+            )
+            await daemon.start()
+            try:
+                daemon._peers["ep"] = ("127.0.0.1", 9)
+                daemon._transport = BrokenTransport()
+                message = Datagram(
+                    source="monitor", destination="ep", kind="crash-ack"
+                )
+                assert daemon._send(message) is False
+                assert daemon.send_errors_total == 1
+                [span] = tracer.tail(16, kind="send-error")
+                assert span["endpoint"] == "ep"
+                assert span["detector"] == "crash-ack"
+            finally:
+                daemon._transport = None
+                await daemon.stop()
+
+        asyncio.run(asyncio.wait_for(main(), timeout=10.0))

@@ -236,6 +236,52 @@ class TestWindowSemantics:
         assert window.qos.undetected_crashes == 1
         store.close()
 
+    def test_window_ending_exactly_on_transition_includes_it(self):
+        # Replay covers (start, end]: a trust exactly at the window end
+        # closes the mistake inside the window.
+        store = WindowedQosStore()
+        sequence = [("S", 3.0), ("T", 7.0)]
+        _record(store, sequence)
+        window = assert_window_equivalent(store, sequence, 0.0, 7.0)
+        assert len(window.qos.mistakes) == 1
+        assert window.qos.mistakes[0].end == pytest.approx(7.0)
+        # One tick earlier the suspicion is still open, closed by the
+        # window boundary itself.
+        boundary = store.query(ENDPOINT, DETECTOR, 0.0, 6.999)
+        assert boundary.qos.mistakes[0].end == pytest.approx(6.999)
+        store.close()
+
+    def test_window_entirely_after_recorded_span(self):
+        store = WindowedQosStore()
+        sequence = [("S", 1.0), ("T", 2.0)]
+        _record(store, sequence)
+        window = assert_window_equivalent(store, sequence, 50.0, 60.0)
+        assert window.qos.mistakes == []
+        assert window.qos.p_a == pytest.approx(1.0)
+        store.close()
+
+    def test_window_entirely_before_recorded_span(self):
+        store = WindowedQosStore()
+        sequence = [("S", 100.0), ("T", 101.0)]
+        _record(store, sequence)
+        window = assert_window_equivalent(store, sequence, 0.0, 10.0)
+        assert window.qos.mistakes == []
+        store.close()
+
+    def test_snapshots_time_range_is_inclusive_both_ends(self):
+        store = WindowedQosStore()
+        accumulator = OnlineQosAccumulator(DETECTOR)
+        for t in (1.0, 2.0, 3.0):
+            store.record_snapshot(
+                ENDPOINT, DETECTOR, t, accumulator.snapshot(t)
+            )
+        times = [t for t, _ in store.snapshots(
+            ENDPOINT, DETECTOR, start=1.0, end=2.0
+        )]
+        assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+        assert len(store.snapshots(ENDPOINT, DETECTOR)) == 3
+        store.close()
+
     def test_invalid_window_rejected(self):
         store = WindowedQosStore()
         with pytest.raises(ValueError):
