@@ -17,6 +17,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
 
 from bench_lint import (  # noqa: E402
     FULL_SRC_BUDGET_S,
+    WARM_SPEEDUP_FLOOR,
     format_report,
     run_benchmark,
 )
@@ -38,7 +39,7 @@ def lint_record(tmp_path_factory):
 def test_full_src_walk_stays_under_budget(lint_record):
     full = lint_record["full_src"]
     assert full["files"] > 50
-    assert full["rules"] >= 6
+    assert full["rules"] >= 10  # per-file tier + interprocedural tier
     assert full["best_s"] < FULL_SRC_BUDGET_S, (
         f"linting src took {full['best_s']:.2f}s "
         f"(contract is < {FULL_SRC_BUDGET_S:.1f}s)"
@@ -54,3 +55,13 @@ def test_single_file_cost_is_bounded(lint_record):
     # The largest file in the repo parses, contextualizes and walks in
     # well under the budget's per-file share.
     assert lint_record["single_file"]["best_ms"] < 1000.0
+
+
+def test_warm_cache_meets_speedup_floor(lint_record):
+    warm = lint_record["warm_cache"]
+    assert warm["misses"] == 0, "warm run must be fully cached"
+    assert warm["hits"] == lint_record["full_src"]["files"]
+    assert warm["speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm lint is only {warm['speedup']:.2f}x faster than cold "
+        f"(contract is >= {WARM_SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -10,6 +10,11 @@ Two measurements:
   never becomes the slow step of the suite.
 * **Single-file hot path** — per-file cost on the largest source file,
   isolating parse + context build + rule walk from directory I/O.
+* **Warm cache** — the same full walk against a populated
+  ``.repro-lint-cache`` (content-hash keyed), the steady state of
+  developer edit/lint loops.  The contract is a **>= 5x** speedup over
+  the cold walk: a warm run skips per-file parsing and rule walks and
+  pays only hashing plus the project-graph re-link.
 
 Results are appended to a JSON history file (default
 ``BENCH_lint.json``), the same layout as ``scripts/bench_obs.py``.
@@ -27,6 +32,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 
 sys.path.insert(
@@ -42,6 +48,10 @@ from repro.lint.engine import (  # noqa: E402
 
 #: Contract asserted here and relied on by CI: linting src/ is cheap.
 FULL_SRC_BUDGET_S = 5.0
+
+#: Contract for the incremental cache: a warm run over an unchanged
+#: tree is at least this many times faster than the cold walk.
+WARM_SPEEDUP_FLOOR = 5.0
 
 
 def run_benchmark(repeats: int) -> dict:
@@ -64,7 +74,20 @@ def run_benchmark(repeats: int) -> dict:
         lint_file(largest, DEFAULT_CONFIG)
         single_times.append(time.perf_counter() - started)
 
+    with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        started = time.perf_counter()
+        lint_paths([src], DEFAULT_CONFIG, cache_dir=cache_dir)
+        cold_cached_s = time.perf_counter() - started
+        warm_times = []
+        warm = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            warm = lint_paths([src], DEFAULT_CONFIG, cache_dir=cache_dir)
+            warm_times.append(time.perf_counter() - started)
+
     best = min(full_times)
+    warm_best = min(warm_times)
     return {
         "full_src": {
             "files": result.files_scanned,
@@ -84,12 +107,25 @@ def run_benchmark(repeats: int) -> dict:
             "bytes": os.path.getsize(largest),
             "best_ms": round(min(single_times) * 1000.0, 3),
         },
+        "warm_cache": {
+            "cold_s": round(cold_cached_s, 4),
+            "best_s": round(warm_best, 4),
+            "mean_s": round(sum(warm_times) / len(warm_times), 4),
+            "hits": warm.cache_hits,
+            "misses": warm.cache_misses,
+            "speedup": round(best / warm_best, 2) if warm_best else 0.0,
+            "speedup_floor": WARM_SPEEDUP_FLOOR,
+            "within_contract": (
+                warm_best > 0 and best / warm_best >= WARM_SPEEDUP_FLOOR
+            ),
+        },
     }
 
 
 def format_report(result: dict) -> str:
     full = result["full_src"]
     single = result["single_file"]
+    warm = result["warm_cache"]
     return "\n".join(
         [
             f"full src walk ({full['files']} files, "
@@ -101,6 +137,10 @@ def format_report(result: dict) -> str:
             f"{full['suppressions']}",
             f"single file ({single['path']}, {single['bytes']} bytes)",
             f"  best                 : {single['best_ms']:10.3f} ms",
+            f"warm cache ({warm['hits']} hits / {warm['misses']} misses)",
+            f"  best                 : {warm['best_s']:10.3f} s",
+            f"  speedup vs cold      : {warm['speedup']:10.2f} x "
+            f"(floor {warm['speedup_floor']:.0f} x)",
         ]
     )
 
@@ -136,6 +176,12 @@ def main(argv=None) -> int:
         print(
             f"WARNING: full src lint took {result['full_src']['best_s']:.2f}s"
             f" (contract is < {FULL_SRC_BUDGET_S:.1f}s)"
+        )
+    if not result["warm_cache"]["within_contract"]:
+        print(
+            f"WARNING: warm cache speedup is "
+            f"{result['warm_cache']['speedup']:.2f}x"
+            f" (contract is >= {WARM_SPEEDUP_FLOOR:.0f}x)"
         )
     print(f"\nappended to {args.output} ({len(history)} run(s) recorded)")
     return 0

@@ -1,0 +1,188 @@
+"""Incremental lint cache: per-file results keyed by content hash.
+
+A warm ``repro lint src`` should not re-parse 100 unchanged files.  The
+cache stores, per source file, the per-file findings, the applied
+suppressions and the serialized
+:class:`~repro.lint.project.ModuleSummary` — everything the engine
+needs to skip the parse *and* still run the project-wide pass (which is
+re-linked from cached summaries every run, so doc/reference edits are
+always picked up without any staleness logic).
+
+Keys are ``sha256(salt + path + sha256(content))``:
+
+* the **salt** folds in the cache format version, the content of every
+  module in ``repro.lint`` itself, the :class:`LintConfig` repr and the
+  select/ignore sets — editing a rule, the policy or the selection
+  invalidates everything at once, with no manual cache-busting;
+* the **content hash** means touching a file's mtime alone stays warm,
+  while any byte change misses.
+
+Entries are one JSON file each under the cache directory (default
+``.repro-lint-cache/`` in the working directory), written atomically
+via temp-file + :func:`os.replace`; a corrupt or unreadable entry is
+treated as a miss.  The cache is opt-in at the library level
+(``lint_paths(..., cache_dir=...)``) and on by default in the CLI with
+a ``--no-cache`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint import rules as rules_package
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Suppression
+from repro.lint.project import ModuleSummary
+
+#: Bump to invalidate every existing cache entry.
+CACHE_VERSION = 1
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def _lint_package_digest() -> str:
+    """Hash of the analyzer's own sources (rules included)."""
+    digest = hashlib.sha256()
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    for directory in (package_dir, os.path.join(package_dir, "rules")):
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode())
+            try:
+                with open(
+                    os.path.join(directory, name), "rb"
+                ) as handle:
+                    digest.update(handle.read())
+            except OSError:
+                digest.update(b"<unreadable>")
+    # rules discovered from an overridden package path (tests) also salt
+    digest.update(";".join(sorted(rules_package.__path__)).encode())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Content-addressed store of per-file lint results."""
+
+    def __init__(
+        self,
+        cache_dir: str,
+        config: LintConfig,
+        select: Optional[Sequence[str]],
+        ignore: Sequence[str],
+    ) -> None:
+        self.cache_dir = cache_dir
+        salt = hashlib.sha256()
+        salt.update(f"v{CACHE_VERSION}".encode())
+        salt.update(_lint_package_digest().encode())
+        salt.update(repr(config).encode())
+        salt.update(b"-" if select is None else repr(sorted(select)).encode())
+        salt.update(repr(sorted(ignore)).encode())
+        self.salt = salt.hexdigest()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, path: str, source: str) -> str:
+        key = hashlib.sha256()
+        key.update(self.salt.encode())
+        key.update(path.encode())
+        key.update(hashlib.sha256(source.encode()).hexdigest().encode())
+        return os.path.join(self.cache_dir, key.hexdigest() + ".json")
+
+    def get(
+        self, path: str, source: str
+    ) -> Optional[Tuple[List[Finding], List[Suppression], Optional[ModuleSummary]]]:
+        """The cached result for this exact content, or ``None``."""
+        entry_path = self._entry_path(path, source)
+        try:
+            with open(entry_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            findings = [_finding_from(f) for f in data["findings"]]
+            suppressions = [
+                _suppression_from(s) for s in data["suppressions"]
+            ]
+            summary = (
+                ModuleSummary.from_dict(data["summary"])
+                if data.get("summary") is not None
+                else None
+            )
+            if data.get("summary") is not None and summary is None:
+                raise ValueError("summary version mismatch")
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, suppressions, summary
+
+    def put(
+        self,
+        path: str,
+        source: str,
+        findings: Sequence[Finding],
+        suppressions: Sequence[Suppression],
+        summary: Optional[ModuleSummary],
+    ) -> None:
+        """Record a freshly-computed result; failures are silent."""
+        document = {
+            "findings": [f.to_dict() for f in findings],
+            "suppressions": [_suppression_to(s) for s in suppressions],
+            "summary": None if summary is None else summary.to_dict(),
+        }
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.cache_dir, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, separators=(",", ":"))
+            os.replace(temp_path, self._entry_path(path, source))
+        except OSError:
+            pass
+
+
+def _finding_from(data: Dict[str, Any]) -> Finding:
+    return Finding(
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        rule=data["rule"],
+        code=data["code"],
+        severity=data["severity"],
+        message=data["message"],
+        hint=data.get("hint", ""),
+    )
+
+
+def _suppression_to(suppression: Suppression) -> Dict[str, Any]:
+    return {
+        "path": suppression.path,
+        "line": suppression.line,
+        "rules": list(suppression.rules),
+        "justification": suppression.justification,
+        "suppressed": [f.to_dict() for f in suppression.suppressed],
+    }
+
+
+def _suppression_from(data: Dict[str, Any]) -> Suppression:
+    return Suppression(
+        path=data["path"],
+        line=data["line"],
+        rules=tuple(data["rules"]),
+        justification=data["justification"],
+        suppressed=tuple(_finding_from(f) for f in data["suppressed"]),
+    )
+
+
+__all__ = ["CACHE_VERSION", "DEFAULT_CACHE_DIR", "LintCache"]

@@ -15,6 +15,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.lint.cache import DEFAULT_CACHE_DIR
 from repro.lint.config import DEFAULT_CONFIG
 from repro.lint.engine import (
     known_rule_ids,
@@ -22,6 +23,30 @@ from repro.lint.engine import (
     load_baseline,
     write_baseline,
 )
+from repro.lint.findings import Finding
+
+
+def _escape_workflow(value: str, *, property_value: bool = False) -> str:
+    """Percent-escape per the GitHub workflow-command grammar."""
+    escaped = (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+    if property_value:
+        escaped = escaped.replace(":", "%3A").replace(",", "%2C")
+    return escaped
+
+
+def render_github(finding: Finding) -> str:
+    """One ``::error`` workflow command annotating the PR diff."""
+    message = f"{finding.code} {finding.rule}: {finding.message}"
+    if finding.hint:
+        message += f"  [fix: {finding.hint}]"
+    return (
+        f"::error file={_escape_workflow(finding.path, property_value=True)}"
+        f",line={finding.line},col={finding.col}"
+        f",title={_escape_workflow(finding.code, property_value=True)}"
+        f"::{_escape_workflow(message)}"
+    )
 
 
 def add_lint_parser(subparsers) -> None:
@@ -35,8 +60,14 @@ def add_lint_parser(subparsers) -> None:
         help="files or directories to analyze (default: src)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format; 'github' emits ::error workflow commands "
+        "that annotate the PR diff (default: text)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk content-hash result cache "
+        "(.repro-lint-cache/)",
     )
     lint.add_argument(
         "--select", default=None, metavar="RULES",
@@ -99,6 +130,7 @@ def command_lint(args: argparse.Namespace) -> int:
         select=select,
         ignore=ignore,
         baseline=baseline,
+        cache_dir=None if args.no_cache else DEFAULT_CACHE_DIR,
     )
 
     if args.write_baseline:
@@ -108,6 +140,15 @@ def command_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.clean else 1
+
+    if args.format == "github":
+        for finding in result.findings:
+            print(render_github(finding))
+        print(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_scanned} file(s)"
+        )
         return 0 if result.clean else 1
 
     for finding in result.findings:
@@ -126,4 +167,4 @@ def command_lint(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
-__all__ = ["add_lint_parser", "command_lint"]
+__all__ = ["add_lint_parser", "command_lint", "render_github"]

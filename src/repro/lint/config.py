@@ -76,8 +76,10 @@ class LintConfig:
     asyncio_safe_receivers: Tuple[str, ...] = ("writer", "transport")
 
     #: lock-discipline: directories whose classes are checked for
-    #: attributes mutated both inside and outside ``with self._lock:``.
-    lock_dirs: Tuple[str, ...] = ("obs/", "service/")
+    #: attributes mutated both inside and outside ``with self._lock:``
+    #: (net/ joined when the read-side race rule landed — the threaded
+    #: UDP scheduler shares state across the dispatch thread).
+    lock_dirs: Tuple[str, ...] = ("obs/", "service/", "net/")
 
     #: mutable-shared-state: directories whose *class-level* mutable
     #: attributes are flagged (detector/predictor banks must keep the
@@ -146,6 +148,67 @@ class LintConfig:
         "restart",
         "shed",
     )
+
+    #: clock-seed-taint: directories and files holding *deterministic*
+    #: code — simulation, replay, experiment drivers — where calling a
+    #: function that transitively reaches the wall clock or ambient RNG
+    #: is a finding even though the primitive sits modules away.
+    taint_sim_dirs: Tuple[str, ...] = ("sim/", "experiments/")
+    taint_sim_files: Tuple[str, ...] = ("repro/fd/replay.py",)
+
+    #: clock-seed-taint: runtime files whose primitives do not taint, on
+    #: top of the FDL001/FDL002 whitelists — live-mode adapters whose
+    #: whole purpose is bridging to real wall-clock time.
+    taint_runtime_files: Tuple[str, ...] = (
+        "repro/kv/live.py",
+        "repro/service/daemon.py",
+        "repro/service/exporter.py",
+        "repro/obs/trace.py",
+        "repro/obs/drift.py",
+        "repro/chaos/runner.py",
+        "repro/cli.py",
+    )
+
+    #: lock-read-race: directories whose lock-using classes are checked
+    #: for attributes written under ``with self.*lock*`` in one method
+    #: but read bare in another (superset of ``lock_dirs`` because the
+    #: threaded UDP scheduler lives under net/).
+    race_dirs: Tuple[str, ...] = ("obs/", "service/", "net/")
+
+    #: contract-drift: where each contract surface lives.  A sub-check
+    #: only runs when at least one of its *source* files is part of the
+    #: linted set, so fixture/subset lints never cross-fire; reference
+    #: files (docs, tests) are read from the project root.
+    contract_metric_renderers: Tuple[str, ...] = (
+        "repro/service/exporter.py",
+        "repro/obs/drift.py",
+        "repro/kv/live.py",
+    )
+    contract_metric_docs: Tuple[str, ...] = (
+        "docs/observability.md",
+        "docs/service.md",
+        "docs/robustness.md",
+        "docs/kv.md",
+    )
+    #: (kv/node.py is deliberately absent: its ``_emit`` publishes node
+    #: *events* to an injected callback, not TraceRecorder spans.)
+    contract_span_emitters: Tuple[str, ...] = (
+        "repro/service/daemon.py",
+        "repro/service/heartbeat.py",
+        "repro/obs/drift.py",
+        "repro/kv/live.py",
+    )
+    contract_span_analyzers: Tuple[str, ...] = (
+        "repro/obs/analyze.py",
+    )
+    contract_span_docs: Tuple[str, ...] = ("docs/observability.md",)
+    contract_cli_files: Tuple[str, ...] = ("repro/cli.py",)
+    contract_cli_docs: Tuple[str, ...] = ("README.md", "docs/")
+
+    #: contract-drift: project-root override for fixture corpora.  When
+    #: empty the root is found by walking up from a linted file to the
+    #: first directory containing ``docs``.
+    contract_root: str = ""
 
     #: Extra per-run suppressions (rule ids) applied before reporting.
     ignore: Tuple[str, ...] = field(default=())

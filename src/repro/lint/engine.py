@@ -1,11 +1,19 @@
-"""The analyzer core: rule discovery, the per-file walk, baselines.
+"""The analyzer core: rule discovery, the per-file and project passes.
 
 Rules are discovered from :mod:`repro.lint.rules` by package scan —
 any submodule exposing a ``RULES`` list contributes; deleting a rule
 module genuinely removes its check (the fixture tests assert this).
-For each file the engine parses once, builds one
-:class:`~repro.lint.context.FileContext`, runs every selected rule, and
-then applies the suppression protocol:
+Two kinds of rule coexist behind one registry:
+
+* **per-file rules** run on each file's own AST via ``check(ctx)``;
+* **project rules** (``rule.project`` is true) run once per invocation
+  via ``check_project(project)`` over the linked
+  :class:`~repro.lint.project.ProjectContext` — the import graph and
+  approximate call graph of every linted file.  :func:`lint_paths`
+  runs this pass by default; :func:`lint_file` stays per-file so
+  single-snippet unit tests see exactly the lexical rules.
+
+Both passes route findings through the same suppression protocol:
 
 * a finding covered by a *justified* ``# fdlint: disable=`` pragma is
   recorded as a :class:`~repro.lint.findings.Suppression`;
@@ -16,6 +24,10 @@ then applies the suppression protocol:
 A baseline file (``--baseline``) holds fingerprints of known findings
 to tolerate during incremental adoption; fingerprints are
 ``path::rule::line``, so baselines are tied to the invocation paths.
+With ``cache_dir`` set, per-file results and module summaries are
+reused from the content-hash cache (:mod:`repro.lint.cache`); the
+project pass always re-links from summaries, so cross-file and
+doc-reference drift is never served stale.
 """
 
 from __future__ import annotations
@@ -32,6 +44,11 @@ from repro.lint import rules as rules_package
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Suppression
+from repro.lint.project import (
+    ModuleSummary,
+    ProjectContext,
+    build_module_summary,
+)
 
 #: Meta-rule identity for pragmas lacking a justification.
 UNJUSTIFIED_RULE = "unjustified-suppression"
@@ -69,6 +86,8 @@ class LintResult:
     suppressions: List[Suppression] = field(default_factory=list)
     files_scanned: int = 0
     baselined: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def clean(self) -> bool:
@@ -113,6 +132,110 @@ def _selected(
     return not (identities & set(ignore))
 
 
+def _unjustified_finding(path: str, line: int) -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=1,
+        rule=UNJUSTIFIED_RULE,
+        code=UNJUSTIFIED_CODE,
+        severity="error",
+        message="fdlint pragma without a written "
+        "justification suppresses nothing",
+        hint="append the reason in parentheses: "
+        "# fdlint: disable=<rule>  (why this is sound)",
+    )
+
+
+def _apply_pragmas(
+    raw: Sequence[Finding],
+    pragma_for,
+) -> Tuple[List[Finding], List[Suppression]]:
+    """The suppression protocol, shared by both passes.
+
+    ``pragma_for(finding) -> Optional[(line, rules, justification)]``
+    locates the pragma covering a finding in that finding's own file.
+    Findings covered by a justified pragma become :class:`Suppression`
+    entries; unjustified pragmas keep the finding *and* raise the
+    FDL000 meta-finding once per pragma line.
+    """
+    findings: List[Finding] = []
+    by_pragma: Dict[
+        Tuple[str, int], Tuple[Tuple[str, ...], str, List[Finding]]
+    ] = {}
+    for finding in sorted(raw):
+        hit = pragma_for(finding)
+        if hit is None:
+            findings.append(finding)
+            continue
+        line, rules, justification = hit
+        entry = by_pragma.setdefault(
+            (finding.path, line), (tuple(rules), justification, [])
+        )
+        if not justification.strip():
+            findings.append(finding)
+        else:
+            entry[2].append(finding)
+    suppressions: List[Suppression] = []
+    for (path, line), (rules, justification, suppressed) in sorted(
+        by_pragma.items()
+    ):
+        suppression = Suppression(
+            path=path,
+            line=line,
+            rules=rules,
+            justification=justification,
+            suppressed=tuple(suppressed),
+        )
+        if not suppression.justified:
+            findings.append(_unjustified_finding(path, line))
+        else:
+            suppressions.append(suppression)
+    return findings, suppressions
+
+
+def _analyze_file(
+    path: str,
+    config: LintConfig,
+    select: Optional[Sequence[str]],
+    ignore: Sequence[str],
+    source: str,
+    *,
+    want_summary: bool,
+) -> Tuple[List[Finding], List[Suppression], Optional[ModuleSummary]]:
+    """Parse one file, run the per-file rules, build its summary."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule="syntax-error",
+            code="FDL999",
+            severity="error",
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [finding], [], None
+    ctx = FileContext(path, source, tree, config)
+    raw: List[Finding] = []
+    for rule in discover_rules().values():
+        if getattr(rule, "project", False):
+            continue
+        if _selected(rule, select, ignore):
+            raw.extend(rule.check(ctx))
+
+    def pragma_for(finding: Finding):
+        pragma = ctx.pragma_for(finding.line, finding.rule, finding.code)
+        if pragma is None:
+            return None
+        return pragma.line, pragma.rules, pragma.justification
+
+    findings, suppressions = _apply_pragmas(raw, pragma_for)
+    summary = build_module_summary(ctx) if want_summary else None
+    return findings, suppressions, summary
+
+
 def lint_file(
     path: str,
     config: LintConfig = DEFAULT_CONFIG,
@@ -121,69 +244,22 @@ def lint_file(
     ignore: Sequence[str] = (),
     source: Optional[str] = None,
 ) -> LintResult:
-    """Analyze one file; see :func:`lint_paths` for the directory walk."""
+    """Analyze one file with the per-file rules.
+
+    Project rules need the cross-file graph and only run in
+    :func:`lint_paths`; keeping this entry point lexical means snippet
+    tests exercise exactly the rule under test.
+    """
     result = LintResult(files_scanned=1)
     if source is None:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        result.findings.append(
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule="syntax-error",
-                code="FDL999",
-                severity="error",
-                message=f"file does not parse: {exc.msg}",
-            )
-        )
-        return result
-    ctx = FileContext(path, source, tree, config)
     ignore = tuple(ignore) + tuple(config.ignore)
-    raw: List[Finding] = []
-    for rule in discover_rules().values():
-        if _selected(rule, select, ignore):
-            raw.extend(rule.check(ctx))
-
-    by_pragma: Dict[int, List[Finding]] = {}
-    for finding in sorted(raw):
-        pragma = ctx.pragma_for(finding.line, finding.rule, finding.code)
-        if pragma is None:
-            result.findings.append(finding)
-        elif not pragma.justified:
-            result.findings.append(finding)
-            by_pragma.setdefault(pragma.line, [])
-        else:
-            by_pragma.setdefault(pragma.line, []).append(finding)
-    for line, suppressed in sorted(by_pragma.items()):
-        pragma = ctx.pragmas[line]
-        suppression = Suppression(
-            path=path,
-            line=line,
-            rules=pragma.rules,
-            justification=pragma.justification,
-            suppressed=tuple(suppressed),
-        )
-        if not suppression.justified:
-            result.findings.append(
-                Finding(
-                    path=path,
-                    line=line,
-                    col=1,
-                    rule=UNJUSTIFIED_RULE,
-                    code=UNJUSTIFIED_CODE,
-                    severity="error",
-                    message="fdlint pragma without a written "
-                    "justification suppresses nothing",
-                    hint="append the reason in parentheses: "
-                    "# fdlint: disable=<rule>  (why this is sound)",
-                )
-            )
-        else:
-            result.suppressions.append(suppression)
+    findings, suppressions, _ = _analyze_file(
+        path, config, select, ignore, source, want_summary=False
+    )
+    result.findings.extend(findings)
+    result.suppressions.extend(suppressions)
     result.findings.sort()
     return result
 
@@ -208,6 +284,62 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
     return collected
 
 
+def _project_pass(
+    summaries: Sequence[ModuleSummary],
+    config: LintConfig,
+    select: Optional[Sequence[str]],
+    ignore: Sequence[str],
+) -> Tuple[List[Finding], List[Suppression]]:
+    """Run every selected project rule over the linked graph."""
+    rules = [
+        rule
+        for rule in discover_rules().values()
+        if getattr(rule, "project", False)
+        and _selected(rule, select, ignore)
+    ]
+    if not rules or not summaries:
+        return [], []
+    project = ProjectContext(summaries, config)
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+
+    by_path = {s.path: s for s in summaries}
+
+    def pragma_for(finding: Finding):
+        summary = by_path.get(finding.path)
+        if summary is None:
+            return None
+        hit = summary.pragma_for(finding.line, finding.rule, finding.code)
+        if hit is None:
+            return None
+        line, entry = hit
+        return line, tuple(entry[0]), entry[1]
+
+    return _apply_pragmas(raw, pragma_for)
+
+
+def _merge_suppressions(
+    suppressions: Iterable[Suppression],
+) -> List[Suppression]:
+    """Collapse per-file and project suppressions sharing a pragma line."""
+    merged: Dict[Tuple[str, int], Suppression] = {}
+    for suppression in suppressions:
+        key = (suppression.path, suppression.line)
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = suppression
+        else:
+            merged[key] = Suppression(
+                path=existing.path,
+                line=existing.line,
+                rules=existing.rules,
+                justification=existing.justification,
+                suppressed=existing.suppressed + suppression.suppressed,
+            )
+    return [merged[key] for key in sorted(merged)]
+
+
 def lint_paths(
     paths: Sequence[str],
     config: LintConfig = DEFAULT_CONFIG,
@@ -215,18 +347,55 @@ def lint_paths(
     select: Optional[Sequence[str]] = None,
     ignore: Sequence[str] = (),
     baseline: Optional[Sequence[str]] = None,
+    project: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> LintResult:
     """Analyze every ``.py`` file under ``paths``.
 
-    ``baseline`` is an iterable of fingerprints to drop from the
-    result (counted in :attr:`LintResult.baselined`).
+    Runs the per-file rules on each file, then (``project=True``, the
+    default) links every file's summary into one
+    :class:`~repro.lint.project.ProjectContext` and runs the
+    interprocedural rules over it.  ``baseline`` is an iterable of
+    fingerprints to drop from the result (counted in
+    :attr:`LintResult.baselined`); ``cache_dir`` enables the
+    content-hash result cache (:mod:`repro.lint.cache`).
     """
     total = LintResult()
+    ignore = tuple(ignore) + tuple(config.ignore)
+    cache = None
+    if cache_dir is not None:
+        from repro.lint.cache import LintCache
+
+        cache = LintCache(cache_dir, config, select, ignore)
+    summaries: List[ModuleSummary] = []
     for path in iter_python_files(paths):
-        partial = lint_file(path, config, select=select, ignore=ignore)
-        total.findings.extend(partial.findings)
-        total.suppressions.extend(partial.suppressions)
-        total.files_scanned += partial.files_scanned
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        entry = cache.get(path, source) if cache is not None else None
+        if entry is None:
+            entry = _analyze_file(
+                path, config, select, ignore, source, want_summary=True
+            )
+            if cache is not None:
+                cache.put(path, source, *entry)
+        findings, suppressions, summary = entry
+        total.findings.extend(findings)
+        total.suppressions.extend(suppressions)
+        total.files_scanned += 1
+        if summary is not None:
+            summaries.append(summary)
+    if project:
+        proj_findings, proj_suppressions = _project_pass(
+            summaries, config, select, ignore
+        )
+        total.findings.extend(proj_findings)
+        total.suppressions.extend(proj_suppressions)
+    # FDL000 can legitimately surface from both passes for one pragma.
+    total.findings = list(dict.fromkeys(total.findings))
+    total.suppressions = _merge_suppressions(total.suppressions)
+    if cache is not None:
+        total.cache_hits = cache.hits
+        total.cache_misses = cache.misses
     if baseline:
         known = set(baseline)
         kept = [

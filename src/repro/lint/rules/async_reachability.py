@@ -1,0 +1,83 @@
+"""FDL011 — blocking I/O reachable from the event loop through helpers.
+
+FDL003 flags blocking calls *lexically* inside ``async def`` bodies and
+loop-resident modules, but a coroutine that calls a sync helper that
+calls a sync helper that hits sqlite blocks the loop just the same.
+This rule runs the reachability closure on the project call graph:
+
+* a sync function **blocks** if it makes an unsuppressed blocking call
+  (sqlite execute/commit, file open/flush/fsync, socket recv/sendall,
+  ``time.sleep`` …) or calls — without an executor offload — another
+  sync project function that blocks;
+* the roots are every project coroutine plus the sync methods of the
+  configured loop-resident modules (timer callbacks, datagram handlers);
+* a root's call edge into a blocking sync function is a finding at the
+  call site, with the chain down to the primitive in the message.
+
+Call edges through a recognised offload surface (``run_in_executor``,
+``asyncio.to_thread``, ``Executor.submit``, ``threading.Thread``) or a
+``lambda`` body do not propagate: that is precisely the sanctioned way
+to run blocking work.  A *justified* FDL003/FDL011 pragma on a blocking
+primitive marks an accepted choke point and stops propagation there —
+suppression decisions stay local to the primitive, as per-file rules
+already behave.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.config import path_matches
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+from repro.lint.rules.base import ProjectRule
+
+
+class AsyncBlockingReachRule(ProjectRule):
+    rule = "async-blocking-reach"
+    code = "FDL011"
+    invariant = (
+        "no blocking call is reachable from a coroutine or loop-resident "
+        "callback through synchronous call chains"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        table = project.blocking_table()
+        if not table:
+            return
+        config = project.config
+        for edge in project.edges:
+            if edge.callee not in table:
+                continue
+            if edge.via in ("offload", "def") or edge.awaited:
+                continue
+            caller = project.functions.get(edge.caller)
+            if caller is None:
+                continue
+            caller_summary, caller_info = caller
+            is_root = caller_info.is_async or path_matches(
+                caller_summary.rel_path, config.loop_resident_files
+            )
+            if not is_root:
+                continue
+            callee = project.functions.get(edge.callee)
+            if callee is not None and callee[1].is_async:
+                continue
+            chain = project.chain(edge.callee, table)
+            primitive, _ = table[edge.callee]
+            short_chain = " -> ".join(
+                q.rsplit(".", 1)[-1] + "()" for q in chain
+            )
+            yield self.at(
+                edge.path,
+                edge.line,
+                f"event-loop code calls {short_chain} which blocks on "
+                f"{primitive}",
+                hint="await an executor (run_in_executor/to_thread) or "
+                "mark the choke point with a justified fdlint pragma",
+            )
+
+
+RULES = [AsyncBlockingReachRule()]
+
+__all__ = ["AsyncBlockingReachRule", "RULES"]

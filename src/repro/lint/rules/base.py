@@ -1,28 +1,38 @@
-"""Shared rule shape (not itself a rule module — no ``RULES`` here).
+"""Shared rule shapes (not itself a rule module — no ``RULES`` here).
 
-A rule is anything with ``rule`` (slug), ``code`` (``FDLnnn``),
+A per-file rule is anything with ``rule`` (slug), ``code`` (``FDLnnn``),
 ``severity``, a one-line ``invariant`` and a ``check(ctx)`` generator;
 :class:`LintRule` provides the finding constructor so concrete rules
-stay focused on their AST walk.
+stay focused on their AST walk.  A *project* rule
+(:class:`ProjectRule`, ``project = True``) instead implements
+``check_project(project)`` over the linked
+:class:`~repro.lint.project.ProjectContext` — the engine runs these
+once per invocation, after the per-file pass, and routes their findings
+through the identical pragma/baseline machinery.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.project import ProjectContext
+
 
 class LintRule:
-    """Base class for concrete rules (see module docstring)."""
+    """Base class for concrete per-file rules (see module docstring)."""
 
     rule: str = ""
     code: str = ""
     severity: str = "error"
     #: One-line statement of the invariant the rule protects (docs/CLI).
     invariant: str = ""
+    #: Project rules run once over the linked graph, not per file.
+    project: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -47,4 +57,36 @@ class LintRule:
         )
 
 
-__all__ = ["LintRule"]
+class ProjectRule(LintRule):
+    """Base class for interprocedural rules over the project graph."""
+
+    project: bool = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())  # project rules contribute nothing per file
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def at(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        hint: str = "",
+        col: int = 1,
+    ) -> Finding:
+        """A finding of this rule anchored at an explicit location."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.rule,
+            code=self.code,
+            severity=self.severity,
+            message=message,
+            hint=hint,
+        )
+
+
+__all__ = ["LintRule", "ProjectRule"]

@@ -1,0 +1,75 @@
+"""FDL010 — deterministic code must not call clock/RNG-tainted helpers.
+
+FDL001 and FDL002 flag *direct* wall-clock and ambient-randomness calls,
+but they stop at the file boundary: wrapping ``time.time()`` in a helper
+one module away silently re-opens the hole.  This rule closes it with
+the project call graph — any function that *transitively* reaches a
+wall-clock or unseeded-randomness primitive outside the whitelisted
+runtime files is **tainted**, and calling a tainted function from the
+deterministic tier (``sim/``, ``experiments/``, the replay engine) is a
+finding at the call site, with the offending chain in the message.
+
+Pragma-suppressed primitives still taint: an FDL001 pragma accepts a
+direct call *in its own context* (an exporter timestamping a scrape),
+not laundering wall-clock values into reproducible simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.config import in_dirs, path_matches
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+from repro.lint.rules.base import ProjectRule
+
+
+class ClockSeedTaintRule(ProjectRule):
+    rule = "clock-seed-taint"
+    code = "FDL010"
+    invariant = (
+        "sim/replay/experiment code never calls a function that "
+        "transitively reaches the wall clock or ambient randomness"
+    )
+
+    def _in_scope(self, project: ProjectContext, rel_path: str) -> bool:
+        config = project.config
+        return in_dirs(rel_path, config.taint_sim_dirs) or path_matches(
+            rel_path, config.taint_sim_files
+        )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        config = project.config
+        clock_ok = config.clock_allowed_files + config.taint_runtime_files
+        random_ok = config.random_allowed_files + config.taint_runtime_files
+        table = project.taint_table(clock_ok, random_ok)
+        if not table:
+            return
+        for edge in project.edges:
+            if edge.callee not in table or edge.via == "def":
+                # ``def`` edges are lexical nesting, not call sites —
+                # the nested body's primitive is FDL001/FDL002's job.
+                continue
+            summary = project.by_path.get(edge.path)
+            if summary is None or not self._in_scope(
+                project, summary.rel_path
+            ):
+                continue
+            chain = project.chain(edge.callee, table)
+            primitive, _ = table[edge.callee]
+            short_chain = " -> ".join(
+                q.rsplit(".", 1)[-1] + "()" for q in chain
+            )
+            yield self.at(
+                edge.path,
+                edge.line,
+                f"call into clock/seed-tainted {short_chain} reaching "
+                f"{primitive} from deterministic code",
+                hint="take time/randomness from the Scheduler/RandomState "
+                "surface, or whitelist the runtime module in LintConfig",
+            )
+
+
+RULES = [ClockSeedTaintRule()]
+
+__all__ = ["ClockSeedTaintRule", "RULES"]

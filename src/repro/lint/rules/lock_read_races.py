@@ -1,0 +1,92 @@
+"""FDL012 — attributes written under the class lock must be read under it.
+
+FDL004 (lock-discipline) flags *mutations* that dodge ``with
+self._lock:`` when the same attribute is mutated under it elsewhere.
+Races hide on the read side too: the daemon thread updates
+``self._handles`` under ``self._registry_lock`` while another method
+iterates it bare — a torn read the mutation rule cannot see.  This rule
+closes the read side using the project facts:
+
+* for every class in the configured ``race_dirs`` the summary records
+  each ``self.X`` store and load with its lexical lock state;
+* any attribute stored at least once inside ``with self.*lock*`` defines
+  the class's *guarded set*;
+* a bare load of a guarded attribute in a different method is a finding
+  — except in ``__init__`` (no concurrent reader can exist before
+  construction completes) and in *lock-held-only* helper methods, i.e.
+  underscore-named methods whose every in-class call site holds the lock
+  (inferred as a fixed point over the call graph).
+
+The lexical lock model is the same one FDL004 uses: a ``with`` whose
+context expression is ``self.<something containing "lock">``.  Reads in
+the *same* method that also writes under the lock are still checked —
+releasing the lock between the write and a later bare read is exactly
+the window the rule exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.config import in_dirs
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+from repro.lint.rules.base import ProjectRule
+
+
+class LockReadRaceRule(ProjectRule):
+    rule = "lock-read-race"
+    code = "FDL012"
+    invariant = (
+        "an attribute written under the class lock is never read "
+        "without holding it"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for summary in project.summaries:
+            if not in_dirs(summary.rel_path, project.config.race_dirs):
+                continue
+            held_only = project.lock_held_only_methods(summary)
+            # attr facts grouped per class --------------------------------
+            guarded: Dict[str, Dict[str, int]] = {}
+            for info in summary.functions.values():
+                if not info.class_name:
+                    continue
+                for attr, line, in_lock in info.writes:
+                    if in_lock:
+                        table = guarded.setdefault(info.class_name, {})
+                        table.setdefault(attr, line)
+            if not guarded:
+                continue
+            for qualname, info in summary.functions.items():
+                cls_guarded = guarded.get(info.class_name)
+                if not cls_guarded:
+                    continue
+                method = qualname.rsplit(".", 1)[-1]
+                if method == "__init__" or qualname in held_only:
+                    continue
+                reported: set = set()
+                for attr, line, in_lock in sorted(
+                    info.reads, key=lambda rec: rec[1]
+                ):
+                    if in_lock or attr not in cls_guarded:
+                        continue
+                    if attr in reported:
+                        continue
+                    reported.add(attr)
+                    write_line = cls_guarded[attr]
+                    yield self.at(
+                        summary.path,
+                        line,
+                        f"{info.class_name}.{attr} is written under the "
+                        f"class lock (line {write_line}) but read here "
+                        "without holding it",
+                        hint="wrap the read in the same `with self._lock:` "
+                        "block, or document the benign race with a "
+                        "justified fdlint pragma",
+                    )
+
+
+RULES = [LockReadRaceRule()]
+
+__all__ = ["LockReadRaceRule", "RULES"]

@@ -37,32 +37,53 @@ Labeled per-heartbeat delay/outcome traces are the raw material for
 learning-based detectors (Li & Marin, arXiv:2210.00134), and large-scale
 monitoring needs aggregated, queryable views rather than point samples
 (Dobre et al., arXiv:0910.0708) — this package provides both.
+
+Exports are resolved lazily (PEP 562).  Historically this module eagerly
+re-exported names from :mod:`repro.obs.analyze`, which meant the
+``analyze()`` *function* could not be exported without shadowing the
+``repro.obs.analyze`` submodule attribute of the same name, and whether
+``repro.obs.analyze`` resolved to the submodule at all depended on
+import order.  The lazy ``__getattr__`` below makes submodule access
+deterministic: ``repro.obs.analyze`` is always the module, and
+``from repro.obs.analyze import analyze`` gets the function.
 """
 
-# Note: the analyze() *function* is deliberately not re-exported here —
-# it would shadow the repro.obs.analyze submodule attribute of the same
-# name.  Use ``from repro.obs.analyze import analyze``.
-from repro.obs.analyze import (
-    TraceAnalysis,
-    cross_check,
-    load_events,
-    read_trace_file,
-)
-from repro.obs.drift import DriftMonitor, ks_distance
-from repro.obs.history import QosWindow, WindowedQosStore
-from repro.obs.hub import ObservabilityHub
-from repro.obs.trace import TraceEvent, TraceRecorder
+import importlib
+from typing import Any
 
-__all__ = [
-    "DriftMonitor",
-    "ObservabilityHub",
-    "QosWindow",
-    "TraceAnalysis",
-    "TraceEvent",
-    "TraceRecorder",
-    "WindowedQosStore",
-    "cross_check",
-    "ks_distance",
-    "load_events",
-    "read_trace_file",
-]
+_SUBMODULES = ("analyze", "drift", "history", "hub", "trace")
+
+# name -> defining submodule, for lazy attribute resolution.  The
+# analyze() function stays out: it shares a name with its submodule.
+_EXPORTS = {
+    "TraceAnalysis": "analyze",
+    "cross_check": "analyze",
+    "load_events": "analyze",
+    "read_trace_file": "analyze",
+    "DriftMonitor": "drift",
+    "ks_distance": "drift",
+    "QosWindow": "history",
+    "WindowedQosStore": "history",
+    "ObservabilityHub": "hub",
+    "TraceEvent": "trace",
+    "TraceRecorder": "trace",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    source = _EXPORTS.get(name)
+    if source is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    value = getattr(importlib.import_module(f"{__name__}.{source}"), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__) | set(_SUBMODULES))

@@ -96,6 +96,7 @@ class ObservabilityHub:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    # fdlint: disable=async-blocking-reach (shutdown/drain choke point: flush is called from daemon stop() and test teardown, both quiescent; the periodic on-loop persistence path batches through WindowedQosStore's own buffered flush)
     def flush(self) -> None:
         """Flush the trace file and the history store's write buffer."""
         if self.tracer is not None:

@@ -620,6 +620,7 @@ class MonitorDaemon:
         self._http_server = server
         self._http_bound_port = server.endpoint[1]
 
+    # fdlint: disable=async-blocking-reach (accepted choke point: one buffered sqlite commit per snapshot interval (seconds apart, sub-ms measured in BENCH_obs.json), supervised with jittered backoff; offloading to an executor would break the SimScheduler determinism tests rely on)
     def _take_snapshots(self) -> None:
         """Persist one cumulative-QoS snapshot per series, then prune."""
         history = self.obs.history

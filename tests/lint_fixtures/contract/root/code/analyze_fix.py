@@ -1,0 +1,7 @@
+"""Fixture span analyzer: handles exactly one kind."""
+
+
+def handle(kind):
+    if kind == "known-kind":
+        return 1
+    return 0

@@ -1,0 +1,14 @@
+"""Fixture CLI: one documented subcommand, one the docs never mention."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro")
+    parser.add_argument("--verbose", action="store_true")
+    subparsers = parser.add_subparsers(dest="command")
+    demo = subparsers.add_parser("demo")
+    demo.add_argument("--known", type=int)
+    hidden = subparsers.add_parser("hidden")
+    hidden.add_argument("--flag")
+    return parser

@@ -1,0 +1,8 @@
+"""Fixture metric renderer: one documented series, one drifted."""
+
+
+def render_metrics(value):
+    lines = []
+    lines.append(f"fd_good_total {value}")
+    lines.append(f"fd_undocumented_thing_total {value}")
+    return "\n".join(lines)

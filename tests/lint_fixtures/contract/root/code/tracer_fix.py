@@ -1,0 +1,6 @@
+"""Fixture span emitter: one contracted kind, one unknown to everyone."""
+
+
+def trace_decisions(tracer, now, endpoint):
+    tracer.emit(now, "known-kind", endpoint)
+    tracer.emit(now, "mystery-kind", endpoint)

@@ -1,0 +1,32 @@
+"""Lock discipline done right on the read side (FDL012-clean)."""
+
+import threading
+
+
+class GuardedWindow:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._samples = []
+        self._high_water = 0
+        # __init__ reads are pre-publication: no concurrent reader yet.
+        assert self._high_water == 0
+
+    def record(self, value):
+        with self._lock:
+            self._samples.append(value)
+            self._high_water = max(self._high_water, value)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._samples)
+
+    def peak(self):
+        with self._lock:
+            return self._drain()
+
+    def _drain(self):
+        # Lock-held-only helper: every call site above holds the lock,
+        # so its bare reads are guarded by the callers.
+        result = self._high_water
+        self._samples.clear()
+        return result

@@ -1,0 +1,22 @@
+"""Lock-guarded writes with bare reads elsewhere (FDL012)."""
+
+import threading
+
+
+class SharedWindow:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._samples = []
+        self._high_water = 0
+
+    def record(self, value):
+        with self._lock:
+            self._samples.append(value)
+            self._high_water = max(self._high_water, value)
+
+    def snapshot(self):
+        # Bare read of lock-guarded state: torn list iteration.
+        return list(self._samples)
+
+    def peak(self):
+        return self._high_water  # bare read of a guarded scalar

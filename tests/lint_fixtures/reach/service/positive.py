@@ -1,0 +1,19 @@
+"""Coroutines reaching blocking I/O through sync helpers (FDL011)."""
+
+
+def persist(conn, rows):
+    # Blocking primitive one frame below the loop: sqlite execute.
+    for row in rows:
+        conn.execute("INSERT INTO t VALUES (?)", row)
+    conn.commit()
+
+
+def checkpoint(conn, rows):
+    # A second sync hop: still reachable from the coroutine below.
+    persist(conn, rows)
+
+
+async def flush_loop(conn, queue):
+    while True:
+        rows = await queue.get()
+        checkpoint(conn, rows)  # blocks the event loop two frames down

@@ -1,0 +1,8 @@
+"""A live-runtime module the fixture config whitelists for taint."""
+
+import time
+
+
+def runtime_now() -> float:
+    # fdlint: disable=clock-discipline (fixture: stands in for a whitelisted live-runtime clock bridge)
+    return time.time()

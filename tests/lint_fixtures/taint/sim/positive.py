@@ -1,0 +1,13 @@
+"""Deterministic-tier code laundering wall-clock/randomness via helpers."""
+
+from helpers import pick, pure_delay, stamp
+
+
+def run_simulation(trace):
+    started = stamp()  # tainted: stamp -> wall_clock_now -> time.time
+    for event in trace:
+        event.at = started
+
+
+def shuffle_schedule(events):
+    return pick(events)  # tainted: ambient random.choice

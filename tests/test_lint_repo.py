@@ -21,6 +21,18 @@ EXPECTED_RULES = {
     "lock-discipline",
     "float-time-equality",
     "mutable-shared-state",
+    # interprocedural project tier
+    "clock-seed-taint",
+    "async-blocking-reach",
+    "lock-read-race",
+    "contract-drift",
+}
+
+PROJECT_RULES = {
+    "clock-seed-taint",
+    "async-blocking-reach",
+    "lock-read-race",
+    "contract-drift",
 }
 
 
@@ -45,6 +57,16 @@ class TestRepoIsClean:
 
     def test_full_rule_set_is_active(self):
         assert EXPECTED_RULES <= set(discover_rules())
+
+    def test_src_is_clean_under_project_rules_alone(self):
+        # The interprocedural tier specifically: taint, blocking
+        # reachability, lock races, and contract drift must hold even
+        # when selected on their own (no per-file rules to hide behind).
+        result = lint_paths(
+            [str(SRC)], DEFAULT_CONFIG, select=sorted(PROJECT_RULES)
+        )
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.clean, f"project-tier regressions:\n{rendered}"
 
     def test_linter_lints_itself(self):
         result = lint_paths([str(SRC / "repro" / "lint")], DEFAULT_CONFIG)
